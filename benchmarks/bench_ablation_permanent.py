@@ -1,0 +1,51 @@
+"""ABL-1: dynamic permanent maintainer strategies on one workload."""
+
+import random
+
+import pytest
+
+from repro.algebra import STRATEGIES, make_maintainer
+from repro.semirings import ModularRing
+
+from common import report, timed
+
+SR = ModularRing(5)
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_strategy_update(benchmark, strategy):
+    rng = random.Random(0)
+    n = 1024
+    matrix = [[rng.randrange(5) for _ in range(n)] for _ in range(3)]
+    maintainer = make_maintainer(matrix, SR, strategy=strategy)
+
+    def one_update():
+        maintainer.update(rng.randrange(3), rng.randrange(n),
+                          rng.randrange(5))
+        return maintainer.value()
+
+    benchmark(one_update)
+
+
+def test_ablation_table(capsys):
+    rows = []
+    rng = random.Random(1)
+    for n in (256, 1024):
+        row = [n]
+        for strategy in sorted(STRATEGIES):
+            matrix = [[rng.randrange(5) for _ in range(n)]
+                      for _ in range(3)]
+            maintainer = make_maintainer(matrix, SR, strategy=strategy)
+
+            def storm():
+                for _ in range(100):
+                    maintainer.update(rng.randrange(3), rng.randrange(n),
+                                      rng.randrange(5))
+                    maintainer.value()
+
+            _, elapsed = timed(storm)
+            row.append(elapsed / 100)
+        rows.append(row)
+    with capsys.disabled():
+        report("ABL-1: per-update+value seconds by strategy (Z_5, k=3)",
+               ["n"] + sorted(STRATEGIES), rows)

@@ -1,0 +1,51 @@
+"""E-B1 (Theorem 26): nested weighted query evaluation scaling."""
+
+import random
+
+import pytest
+
+from repro.fog import (SAtom, SIverson, divide_into_max_plus, evaluate_fog,
+                       greater_than, guarded, s_exists, s_sum)
+from repro.semirings import NATURAL
+from repro.structures import graph_structure
+from repro.graphs import triangulated_grid
+
+from common import report, timed
+
+E = lambda x, y: SAtom("E", (x, y))
+wN = lambda y: SAtom("wN", (y,), NATURAL)
+
+
+def fog_workload(side, seed=0):
+    structure = graph_structure(triangulated_grid(side, side))
+    rng = random.Random(seed)
+    for v in structure.domain:
+        structure.add_tuple("V", (v,))
+        structure.set_weight("wN", (v,), rng.randint(0, 9))
+    return structure
+
+
+def max_avg_query():
+    return s_sum("x", guarded(
+        "V", ("x",), divide_into_max_plus(NATURAL),
+        s_sum("y", SIverson(E("x", "y"), NATURAL) * wN("y")),
+        s_sum("y", SIverson(E("x", "y"), NATURAL))))
+
+
+@pytest.mark.parametrize("side", [4, 6])
+def test_max_avg_neighbor_weight(benchmark, side):
+    benchmark.pedantic(
+        lambda: evaluate_fog(fog_workload(side), max_avg_query()).value(),
+        rounds=1, iterations=1)
+
+
+def test_fog_scaling_table(capsys):
+    rows = []
+    for side in (4, 6, 8):
+        structure = fog_workload(side)
+        result, elapsed = timed(
+            lambda: evaluate_fog(structure, max_avg_query()).value())
+        rows.append([len(structure.domain), round(elapsed, 3), result])
+    with capsys.disabled():
+        report("E-B1: FOG max-average-neighbor-weight (s)",
+               ["n", "total", "value"], rows)

@@ -1,0 +1,76 @@
+"""E-PERM1/2/3 + E-PROP14: permanent evaluation and update complexity.
+
+Claims: k x n permanents evaluate in O(n) (Lemma 11 machinery); updates are
+O(log n) for general semirings (tight by Prop 14), O(1) for rings
+(Lemma 15) and finite semirings (Lemma 18).
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import make_maintainer, permanent
+from repro.semirings import BOOLEAN, INTEGER, MIN_PLUS, ModularRing
+
+from common import report, timed
+
+
+def build(k, n, seed, conv=lambda v: v):
+    rng = random.Random(seed)
+    return [[conv(rng.randint(0, 9)) for _ in range(n)] for _ in range(k)]
+
+
+@pytest.mark.parametrize("n", [200, 400, 800])
+def test_eval_linear_in_columns(benchmark, n):
+    """E-PERM1: static evaluation time grows ~linearly with n."""
+    matrix = build(3, n, seed=1)
+    benchmark(lambda: permanent(matrix, INTEGER))
+
+
+STRATEGY_CASES = [
+    ("segment-tree", MIN_PLUS, lambda v: v),     # general: O(log n)
+    ("ring", INTEGER, lambda v: v),              # Lemma 15: O(1)
+    ("finite", ModularRing(5), lambda v: v % 5), # Lemma 18: O(1)
+]
+
+
+@pytest.mark.parametrize("strategy,sr,conv", STRATEGY_CASES,
+                         ids=[s for s, _, _ in STRATEGY_CASES])
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+def test_update_latency(benchmark, strategy, sr, conv, n):
+    """E-PERM2/3 + E-PROP14: update cost flat for ring/finite, ~log for
+    general semirings (their ratio is the Prop 14 gap)."""
+    matrix = build(3, n, seed=2, conv=conv)
+    maintainer = make_maintainer(matrix, sr, strategy=strategy)
+    rng = random.Random(3)
+
+    def one_update():
+        maintainer.update(rng.randrange(3), rng.randrange(n),
+                          conv(rng.randint(0, 9)))
+        return maintainer.value()
+
+    benchmark(one_update)
+
+
+def test_prop14_growth_table(capsys):
+    """Tabulate the measured update-time growth (EXPERIMENTS.md, E-PROP14)."""
+    rows = []
+    for n in (256, 1024, 4096):
+        row = [n]
+        for strategy, sr, conv in STRATEGY_CASES:
+            matrix = build(3, n, seed=4, conv=conv)
+            maintainer = make_maintainer(matrix, sr, strategy=strategy)
+            rng = random.Random(5)
+
+            def storm():
+                for _ in range(200):
+                    maintainer.update(rng.randrange(3), rng.randrange(n),
+                                      conv(rng.randint(0, 9)))
+                    maintainer.value()
+
+            _, elapsed = timed(storm)
+            row.append(elapsed / 200)
+        rows.append(row)
+    with capsys.disabled():
+        report("E-PROP14: per-update seconds (general vs ring vs finite)",
+               ["n", "segment-tree", "ring", "finite"], rows)

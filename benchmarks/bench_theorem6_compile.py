@@ -1,0 +1,35 @@
+"""E-F1 (Theorem 6): linear-time compilation; bounded circuit parameters."""
+
+import pytest
+
+from repro.core import compile_structure_query
+from repro.semirings import NATURAL
+
+from common import TRIANGLE, EDGE_SUM, report, timed, triangle_workload
+
+
+@pytest.mark.parametrize("side", [4, 6, 8])
+def test_compile_triangle(benchmark, side):
+    structure = triangle_workload(side)
+    benchmark.pedantic(
+        lambda: compile_structure_query(structure, TRIANGLE),
+        rounds=1, iterations=1)
+
+
+def test_linear_size_and_bounded_shape(capsys):
+    """Circuit size ~ linear in n; depth / permanent rows bounded."""
+    rows = []
+    for side in (4, 6, 8, 10):
+        structure = triangle_workload(side)
+        compiled, elapsed = timed(compile_structure_query, structure,
+                                  TRIANGLE)
+        stats = compiled.stats()
+        value = compiled.evaluate(NATURAL)
+        rows.append([len(structure.domain), round(elapsed, 3),
+                     stats["gates"], stats["depth"], stats["max_perm_rows"],
+                     stats["colors"], value])
+        assert stats["max_perm_rows"] <= 3
+    with capsys.disabled():
+        report("E-F1: Theorem 6 compile (triangle query)",
+               ["n", "compile_s", "gates", "depth", "perm_rows", "colors",
+                "value"], rows)

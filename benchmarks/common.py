@@ -1,0 +1,48 @@
+"""Shared workload builders and reporting helpers for the benchmarks.
+
+Every bench regenerates a 'paper-style' series: since the paper (PODS 2020
+theory) has no empirical tables, each experiment validates a theorem-level
+complexity claim; EXPERIMENTS.md records the measured shapes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.graphs import triangulated_grid
+from repro.logic import Atom, Bracket, Sum, Weight
+from repro.structures import graph_structure
+
+E = lambda x, y: Atom("E", (x, y))
+w = lambda x, y: Weight("w", (x, y))
+
+TRIANGLE = Sum(("x", "y", "z"),
+               Bracket(E("x", "y") & E("y", "z") & E("z", "x"))
+               * w("x", "y") * w("y", "z") * w("z", "x"))
+EDGE_SUM = Sum(("x", "y"), Bracket(E("x", "y")) * w("x", "y"))
+
+
+def triangle_workload(side: int, seed: int = 0, wmax: int = 9):
+    """Triangulated grid with random edge weights (the triangle query's
+    natural sparse workload: planar, degree <= 8)."""
+    structure = graph_structure(triangulated_grid(side, side))
+    rng = random.Random(seed)
+    for edge in sorted(structure.relations["E"]):
+        structure.set_weight("w", edge, rng.randint(1, wmax))
+    return structure
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def report(title: str, header: list, rows: list) -> None:
+    """Print one experiment table (captured into EXPERIMENTS.md)."""
+    print(f"\n== {title} ==")
+    print(" | ".join(f"{h:>14}" for h in header))
+    for row in rows:
+        print(" | ".join(f"{cell:>14}" if not isinstance(cell, float)
+                         else f"{cell:>14.6f}" for cell in row))

@@ -1,0 +1,6 @@
+"""Make benchmark-local helper modules importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,17 @@
+"""Benchmark-local copy of the test workload builders (no tests/ import)."""
+
+import random
+
+from repro.graphs import bounded_depth_forest
+from repro.structures import LabeledForest
+
+
+def random_labeled_forest(n, depth, seed, conv=lambda v: v):
+    _, parent = bounded_depth_forest(n, depth, seed=seed)
+    rng = random.Random(seed + 1)
+    labels = {"R": {v for v in parent if rng.random() < 0.5},
+              "B": {v for v in parent if rng.random() < 0.3}}
+    weights = {"w": {v: conv(rng.randint(0, 4)) for v in parent
+                     if rng.random() < 0.8},
+               "u": {v: conv(rng.randint(1, 3)) for v in parent}}
+    return LabeledForest(parent, labels=labels, weights=weights)

@@ -1,0 +1,48 @@
+"""The paper's introduction, as FOG[C] queries (Theorem 26).
+
+Query 1:  max_x ( Σ_y [E(x,y)]·w(y) ) / ( Σ_y [E(x,y)] )
+          — the maximum average neighbor weight, mixing (N,+,·) inside the
+          division connective with (Q∪{-∞}, max, +) outside.
+
+Query 2:  f(x) = ∃y E(x,y) ∧ ( w(y) > Σ_z [E(y,z)]·w(z) )
+          — a boolean query whose guard compares values computed in N.
+
+Run: python examples/nested_aggregates.py
+"""
+
+import random
+
+from repro import NATURAL, graph_structure, triangulated_grid
+from repro.fog import (SAtom, SIverson, divide_into_max_plus, evaluate_fog,
+                       greater_than, guarded, s_exists, s_sum)
+
+
+def main():
+    graph = triangulated_grid(5, 5)
+    structure = graph_structure(graph)
+    rng = random.Random(7)
+    for v in structure.domain:
+        structure.add_tuple("V", (v,))            # the unary guard
+        structure.set_weight("wN", (v,), rng.randint(0, 9))
+
+    E = lambda x, y: SAtom("E", (x, y))
+    wN = lambda y: SAtom("wN", (y,), NATURAL)
+
+    max_avg = s_sum("x", guarded(
+        "V", ("x",), divide_into_max_plus(NATURAL),
+        s_sum("y", SIverson(E("x", "y"), NATURAL) * wN("y")),
+        s_sum("y", SIverson(E("x", "y"), NATURAL))))
+    print("max average neighbor weight:",
+          evaluate_fog(structure, max_avg).value())
+
+    heavy = guarded("V", ("y",), greater_than(NATURAL), wN("y"),
+                    s_sum("z", SIverson(E("y", "z"), NATURAL) * wN("z")))
+    has_heavy_neighbor = s_exists("y", E("x", "y") & heavy)
+    result = evaluate_fog(structure, has_heavy_neighbor)
+    holders = [v for v in structure.domain if result.query(v)]
+    print(f"vertices with a neighbor outweighing its own neighborhood: "
+          f"{len(holders)} of {len(structure.domain)}")
+
+
+if __name__ == "__main__":
+    main()

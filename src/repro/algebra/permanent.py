@@ -1,0 +1,95 @@
+"""Static permanents of rectangular matrices over commutative semirings.
+
+``perm(M) = sum over injective f: rows -> columns of prod_r M[r, f(r)]``
+(paper §3, equation (1)).  The number of rows ``k`` is a query constant;
+the number of columns ``n`` is data.  :func:`permanent` runs in
+``O(2^k * k * n)`` semiring operations — linear in ``n`` as required by
+Theorem 8's analysis — while :func:`permanent_naive` enumerates injections
+directly and is used only as a test oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Sequence
+
+from ..semirings import Semiring
+
+Matrix = Sequence[Sequence[Any]]
+
+
+def matrix_dimensions(matrix: Matrix) -> tuple[int, int]:
+    """Validate rectangularity and return ``(k, n)``."""
+    k = len(matrix)
+    n = len(matrix[0]) if k else 0
+    for row in matrix:
+        if len(row) != n:
+            raise ValueError("permanent requires a rectangular matrix")
+    return k, n
+
+
+def permanent(matrix: Matrix, sr: Semiring) -> Any:
+    """Permanent via subset dynamic programming over columns.
+
+    State: ``dp[mask]`` = sum over injective assignments of the row set
+    ``mask`` into the columns processed so far.  Each column either serves
+    one currently-unmatched row or is skipped.
+    """
+    k, _ = matrix_dimensions(matrix)
+    if k == 0:
+        return sr.one
+    full = (1 << k) - 1
+    dp: List[Any] = [sr.zero] * (full + 1)
+    dp[0] = sr.one
+    add, mul = sr.add, sr.mul
+    for col in range(len(matrix[0])):
+        # Iterate masks descending so each column is used at most once.
+        for mask in range(full, 0, -1):
+            acc = dp[mask]
+            for row in range(k):
+                bit = 1 << row
+                if mask & bit:
+                    prev = dp[mask ^ bit]
+                    if not sr.is_zero(prev):
+                        acc = add(acc, mul(prev, matrix[row][col]))
+            dp[mask] = acc
+    return dp[full]
+
+
+def permanent_naive(matrix: Matrix, sr: Semiring) -> Any:
+    """Test oracle: direct sum over injective functions rows -> columns."""
+    k, n = matrix_dimensions(matrix)
+    if k == 0:
+        return sr.one
+    total = sr.zero
+    for assignment in itertools.permutations(range(n), k):
+        total = sr.add(total, sr.prod(
+            matrix[row][assignment[row]] for row in range(k)))
+    return total
+
+
+def perm_prime(matrix: Matrix, sr: Semiring) -> Any:
+    """``perm'(M)``: the order-respecting permanent of Lemma 10.
+
+    Sums over *increasing* injections of the (ordered) rows into the
+    (ordered) columns.  ``perm(M) = sum over row orderings of perm'``.
+    """
+    k, n = matrix_dimensions(matrix)
+    if k == 0:
+        return sr.one
+    # dp[i] = perm' of the first i rows against the columns seen so far.
+    dp: List[Any] = [sr.one] + [sr.zero] * k
+    for col in range(n):
+        for i in range(k, 0, -1):
+            dp[i] = sr.add(dp[i], sr.mul(dp[i - 1], matrix[i - 1][col]))
+    return dp[k]
+
+
+def permanent_via_perm_prime(matrix: Matrix, sr: Semiring) -> Any:
+    """Cross-check for the Lemma 10 decomposition: sum perm' over orderings."""
+    k, _ = matrix_dimensions(matrix)
+    total = sr.zero
+    for order in itertools.permutations(range(k)):
+        reordered = [matrix[row] for row in order]
+        total = sr.add(total, perm_prime(reordered, sr))
+    return total

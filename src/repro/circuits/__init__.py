@@ -1,0 +1,14 @@
+"""Circuits with permanent gates (system S6)."""
+
+from .evaluation import (DynamicEvaluator, StaticEvaluator, Valuation,
+                         valuation_from_dict)
+from .gates import (AddGate, Circuit, CircuitBuilder, ConstGate, GateId,
+                    InputGate, MulGate, PermGate)
+from .render import render_dot, render_text, summarize
+
+__all__ = [
+    "Circuit", "CircuitBuilder", "InputGate", "ConstGate", "AddGate",
+    "MulGate", "PermGate", "GateId",
+    "StaticEvaluator", "DynamicEvaluator", "valuation_from_dict", "Valuation",
+    "render_text", "render_dot", "summarize",
+]

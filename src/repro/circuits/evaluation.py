@@ -1,0 +1,169 @@
+"""Evaluation contexts: bind a circuit to a semiring and a valuation.
+
+* :class:`StaticEvaluator` — one bottom-up pass, O(size) semiring ops
+  (permanent gates via the O(2^k n) DP).
+* :class:`DynamicEvaluator` — maintains all gate values under input
+  updates.  Permanent gates carry a pluggable
+  :class:`~repro.algebra.PermanentMaintainer`, so one update costs
+  O(affected gates · per-gate cost): constant for rings and finite
+  semirings, logarithmic in general — exactly the Theorem 8 bounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..algebra import PermanentMaintainer, make_maintainer, permanent
+from ..semirings import Semiring
+from .gates import (AddGate, Circuit, ConstGate, GateId, InputGate, MulGate,
+                    PermGate)
+
+Valuation = Callable[[Hashable], Any]
+
+
+def valuation_from_dict(values: Dict[Hashable, Any], zero: Any) -> Valuation:
+    return lambda key: values.get(key, zero)
+
+
+class StaticEvaluator:
+    """Single-pass evaluation of every live gate."""
+
+    def __init__(self, circuit: Circuit, sr: Semiring, valuation: Valuation):
+        self.circuit = circuit
+        self.sr = sr
+        self.values: Dict[GateId, Any] = {}
+        zero = sr.zero
+        for gate_id in circuit.live_gates():
+            gate = circuit.gates[gate_id]
+            if isinstance(gate, InputGate):
+                value = valuation(gate.key)
+            elif isinstance(gate, ConstGate):
+                value = sr.coerce(gate.value)
+            elif isinstance(gate, AddGate):
+                value = sr.sum(self.values[c] for c in gate.children)
+            elif isinstance(gate, MulGate):
+                value = sr.prod(self.values[c] for c in gate.children)
+            elif isinstance(gate, PermGate):
+                matrix = [[self.values[e] if e is not None else zero
+                           for e in row] for row in gate.entries]
+                value = permanent(matrix, sr)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown gate {gate!r}")
+            self.values[gate_id] = value
+
+    def value(self) -> Any:
+        return self.values[self.circuit.output]
+
+
+class DynamicEvaluator:
+    """Incremental evaluation under input updates (Theorem 8 machinery).
+
+    ``strategy`` picks the permanent maintainer ('ring', 'finite',
+    'segment-tree', 'recompute', or None for automatic).
+    ``on_change`` is an optional hook ``(gate_id, new_value) -> None`` fired
+    whenever a live gate's value changes — the enumeration layer uses it to
+    keep support structures in sync.
+    """
+
+    def __init__(self, circuit: Circuit, sr: Semiring, valuation: Valuation,
+                 strategy: Optional[str] = None,
+                 on_change: Optional[Callable[[GateId, Any], None]] = None):
+        self.circuit = circuit
+        self.sr = sr
+        self.strategy = strategy
+        self.on_change = on_change
+        self.live = circuit.live_gates()
+        self.live_set = set(self.live)
+        self.values: Dict[GateId, Any] = {}
+        self.maintainers: Dict[GateId, PermanentMaintainer] = {}
+        # child -> [(parent, position)]; position is ('flat',) for add/mul
+        # and ('perm', row, col) for permanent entries.
+        self.parents: Dict[GateId, List[Tuple[GateId, Tuple]]] = \
+            {g: [] for g in self.live}
+        zero = sr.zero
+        for gate_id in self.live:
+            gate = circuit.gates[gate_id]
+            if isinstance(gate, InputGate):
+                value = valuation(gate.key)
+            elif isinstance(gate, ConstGate):
+                value = sr.coerce(gate.value)
+            elif isinstance(gate, AddGate):
+                value = sr.sum(self.values[c] for c in gate.children)
+                for child in gate.children:
+                    self.parents[child].append((gate_id, ("flat",)))
+            elif isinstance(gate, MulGate):
+                value = sr.prod(self.values[c] for c in gate.children)
+                for child in gate.children:
+                    self.parents[child].append((gate_id, ("flat",)))
+            elif isinstance(gate, PermGate):
+                matrix = [[self.values[e] if e is not None else zero
+                           for e in row] for row in gate.entries]
+                maintainer = make_maintainer(matrix, sr, strategy=strategy)
+                self.maintainers[gate_id] = maintainer
+                value = maintainer.value()
+                for row_idx, row in enumerate(gate.entries):
+                    for col_idx, entry in enumerate(row):
+                        if entry is not None:
+                            self.parents[entry].append(
+                                (gate_id, ("perm", row_idx, col_idx)))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown gate {gate!r}")
+            self.values[gate_id] = value
+
+    def value(self) -> Any:
+        return self.values[self.circuit.output]
+
+    def value_of(self, gate_id: GateId) -> Any:
+        return self.values[gate_id]
+
+    def update_input(self, key: Hashable, value: Any) -> int:
+        """Set the input gate for ``key``; returns # of gates recomputed."""
+        gate_id = self.circuit.inputs.get(key)
+        if gate_id is None or gate_id not in self.live_set:
+            return 0
+        return self._set_value(gate_id, value)
+
+    def _set_value(self, gate_id: GateId, value: Any) -> int:
+        if self.sr.eq(self.values[gate_id], value):
+            return 0
+        self.values[gate_id] = value
+        if self.on_change is not None:
+            self.on_change(gate_id, value)
+        # Propagate in topological (= id) order via a lazy min-heap.
+        pending: List[GateId] = []
+        queued = set()
+        self._push_parents(gate_id, value, pending, queued)
+        touched = 1
+        while pending:
+            current = heapq.heappop(pending)
+            queued.discard(current)
+            touched += 1
+            new_value = self._recompute(current)
+            if self.sr.eq(self.values[current], new_value):
+                continue
+            self.values[current] = new_value
+            if self.on_change is not None:
+                self.on_change(current, new_value)
+            self._push_parents(current, new_value, pending, queued)
+        return touched
+
+    def _push_parents(self, gate_id: GateId, value: Any,
+                      pending: List[GateId], queued: set) -> None:
+        for parent, position in self.parents[gate_id]:
+            if position[0] == "perm":
+                _, row, col = position
+                self.maintainers[parent].update(row, col, value)
+            if parent not in queued:
+                queued.add(parent)
+                heapq.heappush(pending, parent)
+
+    def _recompute(self, gate_id: GateId) -> Any:
+        gate = self.circuit.gates[gate_id]
+        if isinstance(gate, AddGate):
+            return self.sr.sum(self.values[c] for c in gate.children)
+        if isinstance(gate, MulGate):
+            return self.sr.prod(self.values[c] for c in gate.children)
+        if isinstance(gate, PermGate):
+            return self.maintainers[gate_id].value()
+        raise TypeError(f"gate {gate!r} should not be recomputed")

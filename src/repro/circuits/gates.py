@@ -1,0 +1,220 @@
+"""Circuits with permanent gates (paper §3): the universal IR.
+
+A circuit is a DAG of gates — inputs (weights of tuples), constants,
+additions, multiplications, and *permanent gates* whose inputs form a
+``rows x columns`` matrix.  The same circuit evaluates in any semiring;
+evaluation contexts live in :mod:`repro.circuits.evaluation`.
+
+Gates are stored in one flat array in topological order (children before
+parents, enforced by the builder), and referenced by integer id.  ``None``
+entries in a permanent gate denote the semiring zero (pruned subtrees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+GateId = int
+
+
+@dataclass(frozen=True)
+class InputGate:
+    """An input: the weight of one tuple, addressed by a hashable key."""
+
+    key: Hashable
+
+
+@dataclass(frozen=True)
+class ConstGate:
+    """A constant; ``value`` is interpreted through ``Semiring.coerce``."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class AddGate:
+    children: Tuple[GateId, ...]
+
+
+@dataclass(frozen=True)
+class MulGate:
+    children: Tuple[GateId, ...]
+
+
+@dataclass(frozen=True)
+class PermGate:
+    """A permanent gate: ``entries[row][col]`` is a gate id or ``None`` (zero).
+
+    The number of rows is bounded by the query (Theorem 6); the number of
+    columns is data-dependent.
+    """
+
+    entries: Tuple[Tuple[Optional[GateId], ...], ...]
+
+    @property
+    def rows(self) -> int:
+        return len(self.entries)
+
+    @property
+    def cols(self) -> int:
+        return len(self.entries[0]) if self.entries else 0
+
+
+Gate = Any  # InputGate | ConstGate | AddGate | MulGate | PermGate
+
+
+class CircuitBuilder:
+    """Hash-consing builder: structurally equal gates are shared."""
+
+    def __init__(self):
+        self.gates: List[Gate] = []
+        self._index: Dict[Gate, GateId] = {}
+        self.inputs: Dict[Hashable, GateId] = {}
+
+    def _intern(self, gate: Gate) -> GateId:
+        found = self._index.get(gate)
+        if found is not None:
+            return found
+        gate_id = len(self.gates)
+        self.gates.append(gate)
+        self._index[gate] = gate_id
+        return gate_id
+
+    def input(self, key: Hashable) -> GateId:
+        gate_id = self._intern(InputGate(key))
+        self.inputs[key] = gate_id
+        return gate_id
+
+    def const(self, value: Any) -> GateId:
+        return self._intern(ConstGate(value))
+
+    def zero(self) -> Optional[GateId]:
+        """The canonical 'absent' gate — represented as ``None``."""
+        return None
+
+    def one(self) -> GateId:
+        return self.const(1)
+
+    def add(self, children: Sequence[Optional[GateId]]) -> Optional[GateId]:
+        present = tuple(c for c in children if c is not None)
+        if not present:
+            return None
+        if len(present) == 1:
+            return present[0]
+        return self._intern(AddGate(present))
+
+    def mul(self, children: Sequence[Optional[GateId]]) -> Optional[GateId]:
+        children = tuple(children)
+        if any(c is None for c in children):
+            return None
+        # Drop constant-one factors; they are common after label folding.
+        filtered = tuple(c for c in children
+                         if not (isinstance(self.gates[c], ConstGate)
+                                 and self.gates[c].value == 1))
+        if not filtered:
+            return self.one()
+        if len(filtered) == 1:
+            return filtered[0]
+        return self._intern(MulGate(filtered))
+
+    def perm(self, entries: Sequence[Sequence[Optional[GateId]]]) -> Optional[GateId]:
+        """A permanent gate; collapses trivial shapes.
+
+        * zero rows: the empty permanent is 1;
+        * more rows than columns: no injection exists, value 0 (``None``);
+        * an all-``None`` row forces value 0;
+        * one row: equivalent to an addition over the row.
+        """
+        rows = [tuple(row) for row in entries]
+        if not rows:
+            return self.one()
+        cols = len(rows[0])
+        if any(len(row) != cols for row in rows):
+            raise ValueError("permanent gate requires a rectangular matrix")
+        if len(rows) > cols:
+            return None
+        if any(all(e is None for e in row) for row in rows):
+            return None
+        if len(rows) == 1:
+            return self.add([e for e in rows[0] if e is not None])
+        return self._intern(PermGate(tuple(rows)))
+
+    def scaled(self, coefficient: int, gate: Optional[GateId]) -> Optional[GateId]:
+        """``coefficient * gate`` for a nonnegative integer coefficient."""
+        if gate is None or coefficient == 0:
+            return None
+        if coefficient == 1:
+            return gate
+        return self.mul([self.const(coefficient), gate])
+
+    def build(self, output: Optional[GateId]) -> "Circuit":
+        if output is None:
+            output = self.const(0)
+        return Circuit(self.gates, output, dict(self.inputs))
+
+
+class Circuit:
+    """An immutable gate array with a distinguished output."""
+
+    def __init__(self, gates: List[Gate], output: GateId,
+                 inputs: Dict[Hashable, GateId]):
+        self.gates = gates
+        self.output = output
+        self.inputs = inputs
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def children_of(self, gate: Gate) -> List[GateId]:
+        if isinstance(gate, (AddGate, MulGate)):
+            return list(gate.children)
+        if isinstance(gate, PermGate):
+            return [e for row in gate.entries for e in row if e is not None]
+        return []
+
+    def live_gates(self) -> List[GateId]:
+        """Gates reachable from the output (the builder may intern spares)."""
+        seen = {self.output}
+        stack = [self.output]
+        while stack:
+            gate_id = stack.pop()
+            for child in self.children_of(self.gates[gate_id]):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return sorted(seen)
+
+    def stats(self) -> Dict[str, Any]:
+        """Size/depth/fan statistics — the quantities Theorem 6 bounds."""
+        live = self.live_gates()
+        live_set = set(live)
+        depth: Dict[GateId, int] = {}
+        fan_out: Dict[GateId, int] = {g: 0 for g in live}
+        edges = 0
+        kinds: Dict[str, int] = {}
+        max_rows = 0
+        for gate_id in live:
+            gate = self.gates[gate_id]
+            kinds[type(gate).__name__] = kinds.get(type(gate).__name__, 0) + 1
+            children = self.children_of(gate)
+            edges += len(children)
+            for child in children:
+                fan_out[child] += 1
+            depth[gate_id] = 1 + max((depth[c] for c in children), default=0)
+            if isinstance(gate, PermGate):
+                max_rows = max(max_rows, gate.rows)
+        return {
+            "gates": len(live),
+            "edges": edges,
+            "size": len(live) + edges,
+            "depth": depth.get(self.output, 0),
+            "max_fan_out": max(fan_out.values(), default=0),
+            "max_perm_rows": max_rows,
+            "kinds": kinds,
+            "inputs": sum(1 for g in live
+                          if isinstance(self.gates[g], InputGate)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Circuit gates={len(self.gates)} output={self.output}>"

@@ -1,0 +1,397 @@
+"""The forest compiler: Case 1 of Theorem 6 (Lemma 29).
+
+Compiles sum-of-product blocks over a labeled bounded-depth forest into a
+circuit with permanent gates:
+
+1. enumerate the shapes of the block's variable tuple (Lemma 32's mutually
+   exclusive decomposition into basic expressions);
+2. partially evaluate every bracket under the shape — equalities and parent
+   atoms collapse to constants, function atoms become unary label tests —
+   and expand the small residual into an exclusive DNF (Shannon paths);
+3. attach the resulting per-class factor lists and run the Claim-1
+   recursion bottom-up over the data forest: the gate of a shape fragment
+   at node ``v`` is the product of its factors at ``v`` with a permanent
+   over (child fragments) x (children of ``v``).
+
+Fragments are hash-consed across shapes and nodes, so the circuit is a DAG
+of size linear in the forest with query-dependent constants, bounded depth
+(twice the forest height) and bounded fan-out — the Theorem 6 guarantees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..circuits import CircuitBuilder, GateId
+from ..logic import Block
+from ..logic.fo import (FALSE, TRUE, Atom, Eq, Formula, FuncAtom, LabelAtom,
+                        Truth, assign_atoms, atoms_of, conj, map_atoms)
+from ..structures import LabeledForest
+from .shapes import ClassId, Shape, enumerate_shapes
+
+# A factor attached to a shape class, evaluated per data node:
+#   ("label", key, positive)  -- 0/1 test of a forest label
+#   ("weight", name)          -- the input gate (name, node)
+Factor = Tuple
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A rooted sub-shape with per-class factors, canonical & hash-consed."""
+
+    depth: int
+    factors: Tuple[Factor, ...]
+    children: Tuple["Fragment", ...]
+
+    def sort_key(self) -> str:
+        return repr((self.depth, self.factors,
+                     tuple(c.sort_key() for c in self.children)))
+
+
+def chain_info(shape: Shape, terms: Sequence[str]):
+    """Depth pattern of a term tuple when its classes lie on one root-path.
+
+    Returns ``(depths, deepest_var)`` or ``None`` when some pair of terms is
+    incomparable under the shape (a tuple of a relation or weight is a
+    clique of the Gaifman graph, hence a chain in any covering forest, so
+    incomparable shapes contribute nothing).
+    """
+    distinct = list(dict.fromkeys(terms))
+    for i, a in enumerate(distinct):
+        for b in distinct[i + 1:]:
+            if shape.relation(a, b)[0] == "incomparable":
+                return None
+    depths = tuple(shape.depth_of[t] for t in terms)
+    deepest = max(terms, key=lambda t: shape.depth_of[t])
+    return depths, deepest
+
+
+def residual_formula(formula: Formula, shape: Shape) -> Formula:
+    """Partial evaluation of a bracket under a shape (step 2 above)."""
+    def resolve(atom: Formula) -> Formula:
+        if isinstance(atom, Truth):
+            return atom
+        if isinstance(atom, Eq):
+            return Truth(shape.same_node(atom.left, atom.right))
+        if isinstance(atom, LabelAtom):
+            return atom
+        if isinstance(atom, Atom):
+            if len(atom.terms) == 1:
+                return LabelAtom(("rel", atom.relation), atom.terms[0])
+            info = chain_info(shape, atom.terms)
+            if info is None:
+                return FALSE
+            depths, deepest = info
+            return LabelAtom(("reltup", atom.relation, depths), deepest)
+        if isinstance(atom, FuncAtom):
+            func = atom.func
+            if isinstance(func, tuple) and func and func[0] == "parent":
+                steps = func[1] if len(func) > 1 else 1
+                target_depth = shape.depth_of[atom.arg] - steps
+                target = shape.ancestor_class(atom.arg, target_depth)
+                return Truth(target == shape.var_class[atom.out])
+            if func == "parent":
+                target = shape.ancestor_class(
+                    atom.arg, shape.depth_of[atom.arg] - 1)
+                return Truth(target == shape.var_class[atom.out])
+            kind = shape.relation(atom.arg, atom.out)
+            if kind[0] == "same":
+                return LabelAtom(("fself", func), atom.arg)
+            if kind[0] == "below":       # out is the ancestor of arg
+                return LabelAtom(("fup", func, kind[1]), atom.arg)
+            if kind[0] == "above":       # arg is the ancestor of out
+                return LabelAtom(("fdown", func, kind[1]), atom.out)
+            return FALSE
+        raise TypeError(f"forest compiler cannot resolve atom {atom!r}")
+
+    return map_atoms(formula, resolve)
+
+
+def exclusive_assignments(formula: Formula) -> List[Dict[LabelAtom, bool]]:
+    """Shannon expansion: mutually exclusive partial assignments of the
+    formula's atoms that make it true (they partition the satisfying set)."""
+    formula = assign_atoms(formula, {})
+    if formula == TRUE:
+        return [{}]
+    if formula == FALSE:
+        return []
+    atom = atoms_of(formula)[0]
+    out: List[Dict[LabelAtom, bool]] = []
+    for value in (True, False):
+        reduced = assign_atoms(formula, {atom: value})
+        for assignment in exclusive_assignments(reduced):
+            assignment[atom] = value
+            out.append(assignment)
+    return out
+
+
+def required_comparable(block: Block) -> Set[FrozenSet[str]]:
+    """Pairs of variables that every contributing tuple embeds on one
+    root-path.  Two sound sources: (i) variables sharing a weight factor
+    (weights are supported on cliques, hence chains); (ii) pairs whose
+    crossing atoms, when forced false, make the bracket conjunction
+    unsatisfiable as a boolean abstraction."""
+    forced: Set[FrozenSet[str]] = set()
+    for _, terms in block.weight_factors:
+        for x, y in itertools.combinations(set(terms), 2):
+            forced.add(frozenset((x, y)))
+    combined = conj(*block.brackets)
+    for x, y in itertools.combinations(block.vars, 2):
+        pair = {x, y}
+        if frozenset(pair) in forced:
+            continue
+
+        def kill(atom: Formula) -> Formula:
+            if isinstance(atom, Eq) and {atom.left, atom.right} == pair:
+                return FALSE
+            if isinstance(atom, FuncAtom) and {atom.arg, atom.out} == pair:
+                return FALSE
+            if isinstance(atom, Atom) and len(atom.terms) > 1 and \
+                    pair <= set(atom.terms):
+                return FALSE
+            return atom
+
+        reduced = map_atoms(combined, kill)
+        if not exclusive_assignments(reduced):
+            forced.add(frozenset(pair))
+    return forced
+
+
+def weight_depth_index(forest: LabeledForest) -> Dict[str, Set[Tuple[int, ...]]]:
+    """Realized depth patterns per original weight symbol in this forest.
+
+    The forest encoding stores an arity-r weight tuple under the key
+    ``("wtup", name, depths)`` at the chain's deepest node; the index maps
+    ``name`` to its realized ``depths`` tuples (update-safe: supports are
+    fixed, only values change)."""
+    index: Dict[str, Set[Tuple[int, ...]]] = {}
+    for key in forest.weights:
+        if isinstance(key, tuple) and key and key[0] == "wtup":
+            _, name, depths = key
+            index.setdefault(name, set()).add(depths)
+    return index
+
+
+def variable_depth_sets(forest: LabeledForest, block: Block,
+                        index: Dict[str, Set[Tuple[int, ...]]]
+                        ) -> Optional[Dict[str, Set[int]]]:
+    """Per-variable allowed depths from declared weight supports.
+
+    A factor ``w(x)`` (unary) restricts ``x`` to depths where ``w`` is
+    declared; an arity-r factor restricts each argument position to the
+    projection of the realized depth patterns.  Returns ``None`` when some
+    variable has no allowed depth (the block contributes nothing here).
+    """
+    allowed: Dict[str, Set[int]] = {}
+
+    def restrict(var: str, depths: Set[int]) -> None:
+        if var in allowed:
+            allowed[var] &= depths
+        else:
+            allowed[var] = set(depths)
+
+    for name, terms in block.weight_factors:
+        if len(terms) == 1:
+            support = forest.weights.get(name, {})
+            restrict(terms[0], {forest.depth[node] for node in support})
+        else:
+            patterns = index.get(name, set())
+            for position, var in enumerate(terms):
+                restrict(var, {depths[position] for depths in patterns})
+    if any(not depths for depths in allowed.values()):
+        return None
+    return allowed
+
+
+def labeled_shapes_for_block(block: Block, forest: LabeledForest
+                             ) -> List[Tuple[Shape, Dict[ClassId, List[Factor]]]]:
+    """Steps 1-2: shapes with per-class factor lists for one block."""
+    max_depth = forest.height() - 1
+    if max_depth < 0 and block.vars:
+        return []
+    comparable = required_comparable(block)
+    index = weight_depth_index(forest)
+    allowed = variable_depth_sets(forest, block, index)
+    if allowed is None:
+        return []
+    out: List[Tuple[Shape, Dict[ClassId, List[Factor]]]] = []
+    for shape in enumerate_shapes(block.vars, max(max_depth, 0),
+                                  comparable_pairs=comparable,
+                                  allowed_depths=allowed or None):
+        weight_attach: List[Tuple[ClassId, Factor]] = []
+        feasible = True
+        for name, terms in block.weight_factors:
+            if len(terms) == 1:
+                weight_attach.append((shape.var_class[terms[0]],
+                                      ("weight", name)))
+                continue
+            info = chain_info(shape, terms)
+            if info is None:
+                feasible = False
+                break
+            depths, deepest = info
+            if depths not in index.get(name, ()):
+                feasible = False  # no declared tuple has this pattern
+                break
+            weight_attach.append((shape.var_class[deepest],
+                                  ("weight", ("wtup", name, depths))))
+        if not feasible:
+            continue
+        residuals = [residual_formula(f, shape) for f in block.brackets]
+        combined = conj(*residuals)
+        if combined == FALSE:
+            continue
+        for assignment in exclusive_assignments(combined):
+            factors: Dict[ClassId, List[Factor]] = {}
+            for atom, positive in sorted(assignment.items(), key=repr):
+                cid = shape.var_class[atom.var]
+                factors.setdefault(cid, []).append(
+                    ("label", atom.label, positive))
+            for cid, factor in weight_attach:
+                factors.setdefault(cid, []).append(factor)
+            out.append((shape, factors))
+    return out
+
+
+def build_fragment(shape: Shape, cid: ClassId,
+                   factors: Dict[ClassId, List[Factor]]) -> Fragment:
+    children = tuple(sorted(
+        (build_fragment(shape, child, factors)
+         for child in shape.children[cid]),
+        key=Fragment.sort_key))
+    own = tuple(sorted(factors.get(cid, []), key=repr))
+    return Fragment(cid[0], own, children)
+
+
+class ForestCompiler:
+    """Step 3: the bottom-up Claim-1 recursion over the data forest."""
+
+    def __init__(self, forest: LabeledForest, builder: CircuitBuilder,
+                 dynamic_relations: FrozenSet[str] = frozenset(),
+                 recorded: Optional[Dict[Hashable, Tuple[str, object]]] = None):
+        self.forest = forest
+        self.builder = builder
+        self.dynamic_relations = dynamic_relations
+        #: initial values of emitted input gates, shared across color
+        #: subsets: key -> ("w", raw weight) | ("b", bool).
+        self.recorded: Dict[Hashable, Tuple[str, object]] = \
+            recorded if recorded is not None else {}
+        # gates[node][fragment] -> GateId | None
+        self.gates: Dict[Hashable, Dict[Fragment, Optional[GateId]]] = {}
+        self._compiled_fragments: Set[Fragment] = set()
+
+    def _is_dynamic(self, label_key: Hashable) -> bool:
+        return (isinstance(label_key, tuple) and len(label_key) >= 2
+                and label_key[0] in ("rel", "reltup")
+                and label_key[1] in self.dynamic_relations)
+
+    def _decode(self, label_key: Tuple, node) -> Tuple:
+        """Original tuple encoded by a ``rel``/``reltup`` label at ``node``."""
+        if label_key[0] == "rel":
+            return (node,)
+        depths = label_key[2]
+        return tuple(self.forest.ancestor(node, d) for d in depths)
+
+    def _decode_weight(self, stage_name, node) -> Tuple:
+        """``(original name, original tuple)`` for a weight factor."""
+        if isinstance(stage_name, tuple) and stage_name \
+                and stage_name[0] == "wtup":
+            _, name, depths = stage_name
+            return (name, tuple(self.forest.ancestor(node, d)
+                                for d in depths))
+        return (stage_name, (node,))
+
+    def compile_blocks(self, blocks: Sequence[Block]) -> Optional[GateId]:
+        """The sum of all blocks' values as a gate (None == constant zero)."""
+        builder = self.builder
+        tops: List[Optional[GateId]] = []
+        for block in blocks:
+            const_gates = [builder.const(value) for value in block.const_factors]
+            if not block.vars:
+                # Variable-free block: brackets fold to constants.
+                combined = conj(*block.brackets)
+                if combined == TRUE:
+                    tops.append(builder.mul(const_gates))
+                elif combined == FALSE:
+                    tops.append(None)
+                else:  # pragma: no cover - atoms always carry variables
+                    raise ValueError(
+                        f"variable-free block with open bracket {combined!r}")
+                continue
+            for shape, factors in labeled_shapes_for_block(block, self.forest):
+                root_fragments = [build_fragment(shape, root, factors)
+                                  for root in shape.roots]
+                for fragment in root_fragments:
+                    self._ensure_fragment(fragment)
+                entries = [[self.gates.get(root, {}).get(fragment)
+                            for root in self.forest.roots]
+                           for fragment in root_fragments]
+                gate = builder.perm(entries)
+                tops.append(builder.mul(const_gates + [gate])
+                            if gate is not None else None)
+        return builder.add(tops)
+
+    # -- fragment DP -------------------------------------------------------------
+
+    def _ensure_fragment(self, fragment: Fragment) -> None:
+        """Compute ``gates[node][fragment]`` for every node of matching
+        depth (children first, once per fragment)."""
+        if fragment in self._compiled_fragments:
+            return
+        self._compiled_fragments.add(fragment)
+        for child in fragment.children:
+            self._ensure_fragment(child)
+        by_depth = self.forest.nodes_by_depth()
+        for node in by_depth.get(fragment.depth, ()):
+            gate = self._compile_at(node, fragment)
+            self.gates.setdefault(node, {})[fragment] = gate
+
+    def _compile_at(self, node, fragment: Fragment) -> Optional[GateId]:
+        builder = self.builder
+        parts: List[Optional[GateId]] = []
+        for factor in fragment.factors:
+            if factor[0] == "label":
+                _, key, positive = factor
+                present = self.forest.has_label(key, node)
+                if self._is_dynamic(key):
+                    # Key by the decoded original tuple, so the same fact
+                    # shares one input gate across all color subsets.
+                    input_key = ("dynrel", key[1],
+                                 self._decode(key, node), positive)
+                    self.recorded[input_key] = ("b", present == positive)
+                    parts.append(builder.input(input_key))
+                elif present != positive:
+                    return None
+            elif factor[0] == "weight":
+                _, name = factor
+                support = self.forest.weights.get(name, {})
+                if node not in support:
+                    return None
+                input_key = ("w",) + self._decode_weight(name, node)
+                self.recorded[input_key] = ("w", support[node])
+                parts.append(builder.input(input_key))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown factor {factor!r}")
+        if fragment.children:
+            columns = self.forest.children[node]
+            entries = [[self.gates.get(child, {}).get(sub)
+                        for child in columns]
+                       for sub in fragment.children]
+            perm = builder.perm(entries)
+            if perm is None:
+                return None
+            parts.append(perm)
+        return builder.mul(parts) if parts else builder.one()
+
+
+def compile_forest_query(forest: LabeledForest, blocks: Sequence[Block],
+                         builder: Optional[CircuitBuilder] = None,
+                         dynamic_relations: FrozenSet[str] = frozenset()):
+    """Convenience wrapper: compile blocks over a forest into a circuit."""
+    builder = builder or CircuitBuilder()
+    compiler = ForestCompiler(forest, builder,
+                              dynamic_relations=dynamic_relations)
+    output = compiler.compile_blocks(blocks)
+    return builder.build(output)

@@ -1,0 +1,213 @@
+"""End-to-end Theorem 6: structure + closed expression -> circuit.
+
+``compile_structure_query`` chains the reduction stages:
+
+1. normalize the expression into sum-of-product blocks (Lemma 28-style);
+2. compute a low-treedepth coloring of the Gaifman graph (Prop. 1) and
+   split every block over color subsets ``D`` with surjective color
+   assignments (Lemma 35 — exact for any coloring);
+3. per subset: encode the induced substructure as a labeled elimination
+   forest (Lemma 33 generalized to any arity, see ``forest_from_structure``)
+   and run the forest compiler (Lemma 29).
+
+The resulting :class:`CompiledQuery` evaluates in any semiring, statically
+or dynamically; :class:`DynamicQuery` supports weight updates on declared
+tuples and Gaifman-preserving relation updates for declared dynamic
+relations — the input models of Theorems 8 and 24.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..circuits import Circuit, CircuitBuilder, DynamicEvaluator, StaticEvaluator
+from ..graphs import low_treedepth_coloring
+from ..logic import Block, normalize
+from ..logic.weighted import WExpr
+from ..semirings import Semiring
+from ..structures import LabeledForest, Structure
+from .forest_compiler import ForestCompiler
+from .stages import color_blocks, forest_from_structure
+
+
+@dataclass
+class CompiledQuery:
+    """A compiled closed weighted query over a fixed structure."""
+
+    circuit: Circuit
+    structure: Structure
+    blocks: List[Block]
+    coloring: Dict[Hashable, int]
+    forests: List[Tuple[frozenset, LabeledForest]]
+    gaifman: object  # cached Gaifman graph (fixed under the update model)
+    recorded: Dict[Hashable, Tuple[str, object]]
+    dynamic_relations: frozenset
+
+    def input_valuation(self, sr: Semiring) -> Dict[Hashable, Any]:
+        """Carrier values for every recorded input gate."""
+        values: Dict[Hashable, Any] = {}
+        for key, (kind, raw) in self.recorded.items():
+            values[key] = (sr.one if raw else sr.zero) if kind == "b" else raw
+        return values
+
+    def evaluate(self, sr: Semiring) -> Any:
+        values = self.input_valuation(sr)
+        return StaticEvaluator(self.circuit, sr,
+                               lambda key: values.get(key, sr.zero)).value()
+
+    def dynamic(self, sr: Semiring, strategy: Optional[str] = None,
+                on_change=None) -> "DynamicQuery":
+        return DynamicQuery(self, sr, strategy=strategy, on_change=on_change)
+
+    def stats(self) -> Dict[str, Any]:
+        info = self.circuit.stats()
+        info["color_subsets"] = len(self.forests)
+        info["colors"] = len(set(self.coloring.values())) if self.coloring else 0
+        info["max_forest_height"] = max(
+            (forest.height() for _, forest in self.forests), default=0)
+        return info
+
+    # -- update routing ---------------------------------------------------------
+    # Input gates are keyed by the *original* fact: ("w", name, tup) for
+    # weights and ("dynrel", name, tup, positive) for dynamic relations, so
+    # one update touches exactly one (resp. two) input gates regardless of
+    # how many color subsets mention the fact.
+
+    def mark_relation(self, name: str, tup: Tuple, present: bool
+                      ) -> List[Tuple[Hashable, bool]]:
+        """Record a Gaifman-preserving relation toggle; returns the input
+        keys whose boolean state changed (for the evaluator/enumerator to
+        apply).  Validates the Theorem 24 update model."""
+        if name not in self.dynamic_relations:
+            raise ValueError(f"{name} was not declared dynamic")
+        tup = tuple(tup)
+        distinct = list(dict.fromkeys(tup))
+        for i, a in enumerate(distinct):
+            for b in distinct[i + 1:]:
+                if not self.gaifman.has_edge(a, b):
+                    raise ValueError(
+                        f"tuple {tup!r} is not a clique of the Gaifman "
+                        f"graph; such updates change the Gaifman graph and "
+                        f"are outside the Theorem 24 update model")
+        if present:
+            self.structure.add_tuple(name, tup)
+        else:
+            self.structure.remove_tuple(name, tup)
+        for _, forest in self.forests:
+            if all(element in forest.parent for element in tup):
+                if len(tup) == 1:
+                    forest.set_label(("rel", name), tup[0], present)
+                else:
+                    depths = tuple(forest.depth[e] for e in tup)
+                    deepest = max(tup, key=lambda e: forest.depth[e])
+                    forest.set_label(("reltup", name, depths),
+                                     deepest, present)
+        changed: List[Tuple[Hashable, bool]] = []
+        for positive in (True, False):
+            key = ("dynrel", name, tup, positive)
+            if key in self.recorded:
+                state = present == positive
+                self.recorded[key] = ("b", state)
+                changed.append((key, state))
+        return changed
+
+
+class DynamicQuery:
+    """Theorem 8 / Theorem 24 dynamic data structure."""
+
+    def __init__(self, compiled: CompiledQuery, sr: Semiring,
+                 strategy: Optional[str] = None, on_change=None):
+        self.compiled = compiled
+        self.sr = sr
+        values = compiled.input_valuation(sr)
+        self.evaluator = DynamicEvaluator(
+            compiled.circuit, sr, lambda key: values.get(key, sr.zero),
+            strategy=strategy, on_change=on_change)
+
+    def value(self) -> Any:
+        return self.evaluator.value()
+
+    def update_weight(self, name: str, tup: Tuple, value: Any) -> int:
+        """Set ``name(tup) = value``; returns gates touched.  Only tuples
+        declared at compile time are updatable (supports, hence the Gaifman
+        graph, stay fixed — the paper's update model)."""
+        compiled = self.compiled
+        tup = tuple(tup)
+        if tup not in compiled.structure.weights.get(name, {}):
+            raise KeyError(f"{name}{tup} was not declared at compile time")
+        compiled.structure.weights[name][tup] = value
+        key = ("w", name, tup)
+        touched = 0
+        if key in compiled.recorded:
+            compiled.recorded[key] = ("w", value)
+            touched = self.evaluator.update_input(key, value)
+        return touched
+
+    def set_relation(self, name: str, tup: Tuple, present: bool) -> int:
+        """Gaifman-preserving relation update (Theorem 24's model): toggle
+        membership of a tuple whose elements form a clique of the (fixed)
+        Gaifman graph.  ``name`` must be declared dynamic at compile time."""
+        sr = self.sr
+        touched = 0
+        for key, state in self.compiled.mark_relation(name, tup, present):
+            touched += self.evaluator.update_input(
+                key, sr.one if state else sr.zero)
+        return touched
+
+
+def compile_structure_query(structure: Structure, expr: WExpr,
+                            dynamic_relations: Sequence[str] = (),
+                            coloring: Optional[Dict[Hashable, int]] = None
+                            ) -> CompiledQuery:
+    """Theorem 6 end-to-end (quantifier-free brackets; see repro.qe for
+    eliminating quantifiers first)."""
+    blocks = normalize(expr)
+    width = max((len(b.vars) for b in blocks), default=0)
+    dynamic = frozenset(dynamic_relations)
+
+    builder = CircuitBuilder()
+    recorded: Dict[Hashable, Tuple[str, object]] = {}
+    tops: List[Optional[int]] = []
+
+    constant_blocks = [b for b in blocks if not b.vars]
+    variable_blocks = [b for b in blocks if b.vars]
+    if constant_blocks:
+        compiler = ForestCompiler(LabeledForest({}), builder,
+                                  recorded=recorded)
+        tops.append(compiler.compile_blocks(constant_blocks))
+
+    color_of: Dict[Hashable, int] = {}
+    forests: List[Tuple[frozenset, LabeledForest]] = []
+    if variable_blocks and structure.domain:
+        if coloring is None:
+            coloring = low_treedepth_coloring(structure.gaifman(),
+                                              max(width, 1))
+        color_of = dict(coloring)
+        palette = sorted(set(color_of.values()))
+        for size in range(1, width + 1):
+            for subset in itertools.combinations(palette, size):
+                refined: List[Block] = []
+                for block in variable_blocks:
+                    if len(block.vars) >= size:
+                        refined.extend(color_blocks(block, subset))
+                if not refined:
+                    continue
+                part = [v for v in structure.domain
+                        if color_of[v] in set(subset)]
+                if not part:
+                    continue
+                forest = forest_from_structure(structure, part)
+                for color in subset:
+                    forest.labels[("color", color)] = {
+                        v for v in part if color_of[v] == color}
+                forests.append((frozenset(subset), forest))
+                compiler = ForestCompiler(forest, builder,
+                                          dynamic_relations=dynamic,
+                                          recorded=recorded)
+                tops.append(compiler.compile_blocks(refined))
+
+    circuit = builder.build(builder.add(tops))
+    return CompiledQuery(circuit, structure, blocks, color_of, forests,
+                         structure.gaifman(), recorded, dynamic)

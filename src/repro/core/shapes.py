@@ -1,0 +1,168 @@
+"""Shapes: ancestor-term equivalence patterns over bounded-depth forests.
+
+A *shape* (paper, appendix A.2) fixes, for a tuple of variables embedded in
+a rooted forest, (i) the depth of every variable and (ii) which ancestors
+coincide.  Shapes partition all variable tuples, so a sum block splits into
+a mutually exclusive sum of *basic expressions*, one per shape (Lemma 32) —
+the decomposition the circuit construction of Lemma 29 recurses on.
+
+We encode a shape by the variable depths plus the *meet matrix*:
+``meet(x, y)`` is the depth of the deepest common ancestor (``-1`` when the
+variables sit in different trees).  Valid meet matrices are exactly the
+symmetric, ultrametric-like ones; :func:`enumerate_shapes` enumerates them
+with two data-driven prunings that keep the constant factors sane:
+
+* pairs the query forces to be comparable have a *forced* meet,
+* per-variable depth sets can be restricted (e.g. to the depths where a
+  required weight is supported in the data).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+ClassId = Tuple[int, FrozenSet[str]]  # (depth, variables whose path passes here)
+
+
+class Shape:
+    """One ancestor-equivalence pattern for a fixed variable tuple.
+
+    Classes are the equivalence classes of ancestor terms ``(x, j)``
+    (the ancestor of ``x`` at absolute depth ``j``); the class of ``(x, j)``
+    is identified by ``(j, {y : meet(x, y) >= j})``.
+    """
+
+    def __init__(self, variables: Tuple[str, ...], depths: Tuple[int, ...],
+                 meets: Dict[FrozenSet[str], int]):
+        self.variables = variables
+        self.depth_of: Dict[str, int] = dict(zip(variables, depths))
+        self.meets = meets
+        self._classes: Dict[ClassId, None] = {}
+        self.var_class: Dict[str, ClassId] = {}
+        for x in variables:
+            for level in range(self.depth_of[x] + 1):
+                cid = self._class_at(x, level)
+                self._classes.setdefault(cid, None)
+            self.var_class[x] = self._class_at(x, self.depth_of[x])
+        self.classes: List[ClassId] = list(self._classes)
+        self.parent: Dict[ClassId, Optional[ClassId]] = {}
+        self.children: Dict[ClassId, List[ClassId]] = {c: [] for c in self.classes}
+        for cid in self.classes:
+            level, members = cid
+            if level == 0:
+                self.parent[cid] = None
+            else:
+                x = next(iter(members))
+                parent = self._class_at(x, level - 1)
+                self.parent[cid] = parent
+                self.children[parent].append(cid)
+        self.roots: List[ClassId] = [c for c in self.classes if c[0] == 0]
+
+    def meet(self, x: str, y: str) -> int:
+        if x == y:
+            return self.depth_of[x]
+        return self.meets[frozenset((x, y))]
+
+    def _class_at(self, x: str, level: int) -> ClassId:
+        members = frozenset(y for y in self.variables
+                            if self.depth_of[y] >= level
+                            and self.meet(x, y) >= level)
+        return (level, members)
+
+    # -- relations used by residual evaluation ---------------------------------
+
+    def same_node(self, x: str, y: str) -> bool:
+        return self.var_class[x] == self.var_class[y]
+
+    def relation(self, x: str, y: str):
+        """Relative position of ``x`` and ``y``:
+
+        ``("same", d)``, ``("above", j)`` (x is the ancestor of y at depth j),
+        ``("below", j)`` (y is the ancestor of x at depth j), or
+        ``("incomparable", m)``.
+        """
+        dx, dy = self.depth_of[x], self.depth_of[y]
+        m = self.meet(x, y)
+        if m == dx == dy:
+            return ("same", dx)
+        if m == dx < dy:
+            return ("above", dx)
+        if m == dy < dx:
+            return ("below", dy)
+        return ("incomparable", m)
+
+    def ancestor_class(self, x: str, level: int) -> ClassId:
+        """Class of ``x``'s ancestor at absolute depth ``level`` (saturating
+        at the root as in the paper's parent convention)."""
+        return self._class_at(x, max(0, min(level, self.depth_of[x])))
+
+    def key(self) -> Tuple:
+        return (self.variables,
+                tuple(self.depth_of[x] for x in self.variables),
+                tuple(sorted(self.meets.items(), key=repr)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{x}@{self.depth_of[x]}" for x in self.variables]
+        return f"<Shape {' '.join(parts)} meets={dict(self.meets)}>"
+
+
+def enumerate_shapes(variables: Sequence[str], max_depth: int,
+                     comparable_pairs: Set[FrozenSet[str]] = frozenset(),
+                     allowed_depths: Optional[Dict[str, Set[int]]] = None
+                     ) -> Iterator[Shape]:
+    """All consistent shapes for ``variables`` with depths ``<= max_depth``.
+
+    ``comparable_pairs`` lists pairs that must embed on a common root-path
+    (their meet is then forced to ``min`` of the depths, eliminating the
+    meet enumeration for them — the crucial pruning for chain-like queries
+    such as the triangle query).  ``allowed_depths`` restricts per-variable
+    depths, e.g. to the support depths of a required weight.
+    """
+    variables = tuple(variables)
+    p = len(variables)
+    if p == 0:
+        yield Shape((), (), {})
+        return
+    depth_options = []
+    for x in variables:
+        options = sorted(allowed_depths.get(x, range(max_depth + 1))
+                         if allowed_depths else range(max_depth + 1))
+        depth_options.append([d for d in options if 0 <= d <= max_depth])
+    pairs = [frozenset((variables[i], variables[j]))
+             for i in range(p) for j in range(i + 1, p)]
+
+    for depths in itertools.product(*depth_options):
+        depth_of = dict(zip(variables, depths))
+        # Meet candidates per pair; forced for comparable pairs.
+        candidates: List[List[int]] = []
+        for pair in pairs:
+            x, y = tuple(pair)
+            bound = min(depth_of[x], depth_of[y])
+            if pair in comparable_pairs:
+                candidates.append([bound])
+            else:
+                candidates.append(list(range(-1, bound + 1)))
+        for combo in itertools.product(*candidates):
+            meets = dict(zip(pairs, combo))
+            if _ultrametric_ok(variables, depth_of, meets):
+                yield Shape(variables, depths, meets)
+
+
+def _ultrametric_ok(variables: Tuple[str, ...], depth_of: Dict[str, int],
+                    meets: Dict[FrozenSet[str], int]) -> bool:
+    """Validity of a meet matrix: among the three pairwise meets of any
+    variable triple, the minimum occurs at least twice (ancestor paths in a
+    forest branch at a unique depth)."""
+    def meet(x: str, y: str) -> int:
+        return depth_of[x] if x == y else meets[frozenset((x, y))]
+
+    for x, y, z in itertools.combinations(variables, 3):
+        a, b, c = meet(x, y), meet(y, z), meet(x, z)
+        lowest = min(a, b, c)
+        if (a == lowest) + (b == lowest) + (c == lowest) < 2:
+            return False
+    # Equal variables (meet == both depths) must meet every third variable
+    # at the same depth — implied by the triple rule, but the pair rule for
+    # p == 2 needs no extra check.
+    return True

@@ -1,0 +1,288 @@
+"""The Theorem 6 reduction chain (paper appendix, Figure 2).
+
+``stage_degeneracy`` (Lemma 37): orient the Gaifman graph acyclically with
+bounded out-degree; every relation/weight of arity ≥ 2 becomes *unary* data
+attached to the clique's source vertex, addressed through the out-neighbor
+functions ``f_i``.  Atoms and weight atoms are rewritten over patterns
+``(i, t)`` that actually occur in the data (omitted patterns are false /
+zero everywhere, so the rewriting stays linear).
+
+``stage_forest`` (Lemma 33): encode a unary structure whose Gaifman graph
+has small treedepth into a labeled rooted forest: an elimination forest
+covers every edge by an ancestor-descendant pair, so each function arc
+becomes one of finitely many unary labels (`fself`, `fup j`, `fdown j`).
+
+``color_decomposition`` (Lemma 35): a low-treedepth coloring splits a sum
+block into mutually exclusive sub-blocks, one per subset ``D`` of at most
+``p`` colors and surjective color assignment of the variables; each
+sub-block is evaluated on the induced substructure, whose elimination
+forest is shallow.  The decomposition is exact for *any* coloring.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..graphs import Graph, Orientation
+from ..logic import Block
+from ..logic.fo import (Atom, Eq, Formula, FuncAtom, LabelAtom, conj, disj,
+                        map_atoms)
+from ..logic.weighted import (Bracket, Sum, WAdd, WConst, WExpr, Weight,
+                              WMul, WSum)
+from ..structures import LabeledForest, Structure
+from ..structures.unary import UnaryStructure
+
+FUNC_PREFIX = "f"
+
+
+def _pattern_of(orientation: Orientation, tup: Tuple) -> Tuple[int, Tuple[int, ...]]:
+    """Canonical ``(head position, function-index tuple)`` of a tuple.
+
+    The head is the unique source of the (oriented) clique on the tuple's
+    elements; ``t[j]`` is the function index with ``f_{t[j]}(head) = tup[j]``
+    (the saturating index ``out_degree + 1`` encodes the head itself).
+    """
+    head = orientation.source_of_clique(list(set(tup)))
+    position = tup.index(head)
+    indices = tuple(orientation.function_index(head, element)
+                    for element in tup)
+    return position, indices
+
+
+@dataclass
+class DegeneracyEncoding:
+    """Output of the degeneracy stage + the update-routing registry."""
+
+    structure: Structure
+    orientation: Orientation
+    unary: UnaryStructure
+    #: (original weight name, tuple) -> (stage weight name, node)
+    weight_registry: Dict[Tuple[str, Tuple], Tuple[Hashable, Hashable]] = \
+        field(default_factory=dict)
+    #: dynamic unary predicates exposed as labels
+    dynamic_labels: Set[Hashable] = field(default_factory=set)
+
+    def weight_key(self, name: str, tup: Tuple) -> Tuple[Hashable, Hashable]:
+        """The circuit input key carrying ``name(tup)``."""
+        stage_name, node = self.weight_registry[(name, tuple(tup))]
+        return (stage_name, node)
+
+
+def stage_degeneracy(structure: Structure, expr: WExpr,
+                     dynamic_relations: Sequence[str] = ()
+                     ) -> Tuple[DegeneracyEncoding, WExpr]:
+    """Lemma 37: unary-ize a structure and rewrite the expression over it."""
+    gaifman = structure.gaifman()
+    orientation = Orientation(gaifman)
+    out_degree = orientation.out_degree
+    dynamic = set(dynamic_relations)
+    for name in dynamic:
+        if structure.arity(name) != 1:
+            raise ValueError(
+                f"dynamic relations must be unary (got {name}/"
+                f"{structure.arity(name)}); encode binary dynamics as "
+                f"weights over a static clique relation")
+
+    functions: Dict[Hashable, Dict] = {}
+    for index in range(1, out_degree + 2):
+        functions[(FUNC_PREFIX, index)] = {
+            v: orientation.function(index, v) for v in structure.domain}
+
+    labels: Dict[Hashable, Set] = {}
+    patterns: Dict[str, Set[Tuple[int, Tuple[int, ...]]]] = {}
+    for name, tuples in structure.relations.items():
+        arity = structure.arity(name)
+        if arity == 1:
+            labels[("rel", name)] = {tup[0] for tup in tuples}
+            continue
+        seen: Set[Tuple[int, Tuple[int, ...]]] = set()
+        for tup in tuples:
+            position, indices = _pattern_of(orientation, tup)
+            seen.add((position, indices))
+            labels.setdefault(("pat", name, position, indices),
+                              set()).add(tup[position])
+        patterns[name] = seen
+
+    weights: Dict[Hashable, Dict] = {}
+    registry: Dict[Tuple[str, Tuple], Tuple[Hashable, Hashable]] = {}
+    weight_patterns: Dict[str, Set[Tuple[int, Tuple[int, ...]]]] = {}
+    for name, mapping in structure.weights.items():
+        arity = structure.arity(name)
+        if arity == 1:
+            bucket = weights.setdefault(name, {})
+            for tup, value in mapping.items():
+                bucket[tup[0]] = value
+                registry[(name, tup)] = (name, tup[0])
+            continue
+        seen = set()
+        for tup, value in mapping.items():
+            position, indices = _pattern_of(orientation, tup)
+            seen.add((position, indices))
+            stage_name = ("patw", name, position, indices)
+            weights.setdefault(stage_name, {})[tup[position]] = value
+            registry[(name, tup)] = (stage_name, tup[position])
+        weight_patterns[name] = seen
+
+    unary = UnaryStructure(structure.domain, labels=labels,
+                           functions=functions, weights=weights)
+    encoding = DegeneracyEncoding(structure, orientation, unary, registry,
+                                  {("rel", name) for name in dynamic})
+
+    def rewrite_atom(atom: Formula) -> Formula:
+        if isinstance(atom, Atom):
+            arity = len(atom.terms)
+            if arity == 1:
+                return LabelAtom(("rel", atom.relation), atom.terms[0])
+            disjuncts = []
+            for position, indices in sorted(patterns.get(atom.relation, ())):
+                head = atom.terms[position]
+                parts: List[Formula] = [
+                    LabelAtom(("pat", atom.relation, position, indices), head)]
+                parts += [FuncAtom((FUNC_PREFIX, indices[j]), head,
+                                   atom.terms[j])
+                          for j in range(arity)]
+                disjuncts.append(conj(*parts))
+            return disj(*disjuncts)
+        return atom
+
+    def rewrite_expr(node: WExpr) -> WExpr:
+        if isinstance(node, WConst):
+            return node
+        if isinstance(node, Bracket):
+            return Bracket(map_atoms(node.formula, rewrite_atom))
+        if isinstance(node, Weight):
+            if len(node.terms) == 1:
+                return node
+            summands = []
+            for position, indices in sorted(
+                    weight_patterns.get(node.name, ())):
+                head = node.terms[position]
+                stage_name = ("patw", node.name, position, indices)
+                parts: List[Formula] = [
+                    FuncAtom((FUNC_PREFIX, indices[j]), head, node.terms[j])
+                    for j in range(len(node.terms))]
+                summands.append(WMul((Weight(stage_name, (head,)),
+                                      Bracket(conj(*parts)))))
+            if not summands:
+                return WConst(0)
+            return summands[0] if len(summands) == 1 else WAdd(tuple(summands))
+        if isinstance(node, WAdd):
+            return WAdd(tuple(rewrite_expr(p) for p in node.parts))
+        if isinstance(node, WMul):
+            return WMul(tuple(rewrite_expr(p) for p in node.parts))
+        if isinstance(node, WSum):
+            return WSum(node.vars, rewrite_expr(node.inner))
+        raise TypeError(f"unknown expression {node!r}")
+
+    return encoding, rewrite_expr(expr)
+
+
+def stage_forest(unary: UnaryStructure,
+                 forest_of: Optional[Graph] = None) -> LabeledForest:
+    """Lemma 33: encode a unary structure as a labeled rooted forest."""
+    from ..graphs import elimination_forest
+    gaifman = forest_of if forest_of is not None else unary.gaifman()
+    rooted = elimination_forest(gaifman)
+    labels: Dict[Hashable, Set] = {key: set(nodes)
+                                   for key, nodes in unary.labels.items()}
+    forest = LabeledForest(rooted.parent, labels=labels,
+                           weights=unary.weights)
+    for func, mapping in unary.functions.items():
+        for source, target in mapping.items():
+            if target == source:
+                forest.set_label(("fself", func), source)
+            elif forest.depth[target] < forest.depth[source] and \
+                    forest.ancestor(source, forest.depth[target]) == target:
+                forest.set_label(("fup", func, forest.depth[target]), source)
+            elif forest.depth[source] < forest.depth[target] and \
+                    forest.ancestor(target, forest.depth[source]) == source:
+                forest.set_label(("fdown", func, forest.depth[source]), target)
+            else:  # pragma: no cover - elimination forests cover all arcs
+                raise AssertionError(
+                    f"function arc {source!r}->{target!r} not covered by "
+                    f"the elimination forest")
+    return forest
+
+
+def forest_from_structure(structure: Structure,
+                          nodes: Optional[Sequence] = None) -> LabeledForest:
+    """Direct forest encoding of a (sub)structure — the pipeline's Lemma 33.
+
+    Every tuple of a relation or weight is a clique of the Gaifman graph,
+    hence a *chain* in the covering elimination forest; we store it as one
+    unary fact at the chain's deepest element:
+
+    * unary relation ``R``: label ``("rel", R)``;
+    * arity-r relation: label ``("reltup", R, depths)`` where ``depths``
+      lists the absolute depths of the tuple's positions (the tuple is
+      recovered as the node's ancestors at those depths);
+    * weights likewise, under ``name`` (unary) or ``("wtup", name, depths)``.
+
+    This generalizes the paper's ``R^i`` ancestor labels to any arity and
+    makes every atom's residual under a shape a *single* label atom.
+    """
+    from ..graphs import elimination_forest
+    node_set = set(structure.domain if nodes is None else nodes)
+    gaifman = structure.gaifman().subgraph(node_set)
+    rooted = elimination_forest(gaifman)
+    forest = LabeledForest(rooted.parent)
+
+    def chain_key(tup: Tuple) -> Optional[Tuple[Tuple[int, ...], Hashable]]:
+        if any(element not in node_set for element in tup):
+            return None
+        depths = tuple(forest.depth[element] for element in tup)
+        deepest = max(tup, key=lambda element: forest.depth[element])
+        for element in tup:
+            if forest.ancestor(deepest, forest.depth[element]) != element:
+                raise AssertionError(
+                    f"tuple {tup!r} is not a chain in the elimination "
+                    f"forest — Gaifman graph inconsistency")
+        return depths, deepest
+
+    for name, tuples in structure.relations.items():
+        arity = structure.arity(name)
+        for tup in tuples:
+            if arity == 1:
+                if tup[0] in node_set:
+                    forest.set_label(("rel", name), tup[0])
+                continue
+            located = chain_key(tup)
+            if located is not None:
+                depths, deepest = located
+                forest.set_label(("reltup", name, depths), deepest)
+    for name, mapping in structure.weights.items():
+        arity = structure.arity(name)
+        for tup, value in mapping.items():
+            if arity == 1:
+                if tup[0] in node_set:
+                    forest.set_weight(name, tup[0], value)
+                continue
+            located = chain_key(tup)
+            if located is not None:
+                depths, deepest = located
+                forest.set_weight(("wtup", name, depths), deepest, value)
+    return forest
+
+
+def color_blocks(block: Block, colors: Sequence[int]) -> List[Block]:
+    """Lemma 35: the surjective-coloring refinements of one block.
+
+    For the color subset ``colors`` (``|colors| <= |vars|``), emit one block
+    per surjective assignment of the block's variables to the colors, with
+    the color tests added as bracket factors.
+    """
+    refined: List[Block] = []
+    variables = block.vars
+    for assignment in itertools.product(colors, repeat=len(variables)):
+        if set(assignment) != set(colors):
+            continue
+        tests = [LabelAtom(("color", color), var)
+                 for var, color in zip(variables, assignment)]
+        refined.append(Block(
+            vars=variables,
+            weight_factors=list(block.weight_factors),
+            const_factors=list(block.const_factors),
+            brackets=list(block.brackets) + [conj(*tests)]))
+    return refined

@@ -1,0 +1,5 @@
+"""Theorem 8 engine (system S8): weighted query evaluation with updates."""
+
+from .weighted_query import SELECTOR_PREFIX, WeightedQueryEngine
+
+__all__ = ["WeightedQueryEngine", "SELECTOR_PREFIX"]

@@ -1,0 +1,98 @@
+"""Theorem 8: the weighted query evaluation engine.
+
+Closed queries compile straight through the Theorem 6 pipeline; a query
+``f(x)`` with free variables is wrapped as the closed expression
+
+    f' = Σ_x  f(x) · v_1(x_1) ··· v_k(x_k)
+
+with fresh *selector* weights ``v_i`` that default to 0, so a point query
+``f(a)`` is ``2|x|`` weight updates around one read (the proof of
+Theorem 8).  Updates and queries are therefore O(log |A|) in general
+semirings and O(1) in rings and finite semirings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
+
+from ..core import CompiledQuery, DynamicQuery, compile_structure_query
+from ..logic.weighted import Sum, WExpr, WMul, Weight
+from ..semirings import Semiring
+from ..structures import Structure
+
+SELECTOR_PREFIX = "_sel"
+
+_ENGINE_COUNTER = [0]
+
+
+class WeightedQueryEngine:
+    """Linear-time preprocessing; point queries and updates afterwards.
+
+    ``expr`` may have free variables; ``free_order`` fixes the argument
+    order of :meth:`query` (defaults to sorted order).
+    """
+
+    def __init__(self, structure: Structure, expr: WExpr, sr: Semiring,
+                 dynamic_relations: Sequence[str] = (),
+                 free_order: Optional[Sequence[str]] = None,
+                 strategy: Optional[str] = None):
+        self.sr = sr
+        self.free: Tuple[str, ...] = tuple(
+            free_order if free_order is not None else sorted(expr.free_vars()))
+        if set(self.free) != set(expr.free_vars()):
+            raise ValueError(f"free_order {self.free} does not match the "
+                             f"expression's free variables")
+        self.structure = structure
+        _ENGINE_COUNTER[0] += 1
+        tag = _ENGINE_COUNTER[0]
+        self.selectors = [f"{SELECTOR_PREFIX}{tag}_{i}"
+                          for i in range(len(self.free))]
+        if self.free:
+            for name in self.selectors:
+                for element in structure.domain:
+                    structure.set_weight(name, (element,), sr.zero)
+            closed = Sum(self.free, WMul(
+                (expr,) + tuple(Weight(name, (var,))
+                                for name, var in zip(self.selectors,
+                                                     self.free))))
+        else:
+            closed = expr
+        self.compiled: CompiledQuery = compile_structure_query(
+            structure, closed, dynamic_relations=dynamic_relations)
+        self.dynamic: DynamicQuery = self.compiled.dynamic(
+            sr, strategy=strategy)
+
+    # -- queries ---------------------------------------------------------------
+
+    def value(self) -> Any:
+        """The value of a *closed* query (raises if free variables exist)."""
+        if self.free:
+            raise ValueError("query(...) must be used: the expression has "
+                             f"free variables {self.free}")
+        return self.dynamic.value()
+
+    def query(self, *arguments) -> Any:
+        """``f(a)`` for a tuple ``a`` aligned with ``free_order``."""
+        if len(arguments) == 1 and isinstance(arguments[0], dict):
+            assignment = arguments[0]
+            arguments = tuple(assignment[var] for var in self.free)
+        if len(arguments) != len(self.free):
+            raise ValueError(f"expected {len(self.free)} arguments")
+        one, zero = self.sr.one, self.sr.zero
+        for name, element in zip(self.selectors, arguments):
+            self.dynamic.update_weight(name, (element,), one)
+        value = self.dynamic.value()
+        for name, element in zip(self.selectors, arguments):
+            self.dynamic.update_weight(name, (element,), zero)
+        return value
+
+    # -- updates ----------------------------------------------------------------
+
+    def update_weight(self, name: str, tup: Tuple, value: Any) -> int:
+        return self.dynamic.update_weight(name, tup, value)
+
+    def set_relation(self, name: str, tup: Tuple, present: bool) -> int:
+        return self.dynamic.set_relation(name, tup, present)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.compiled.stats()

@@ -1,0 +1,14 @@
+"""Provenance & enumeration (systems S9, S10): Theorems 22 and 24."""
+
+from .answers import (ENUM_WEIGHT, AnswerCursor, AnswerEnumerator,
+                      ProvenanceEnumerator)
+from .context import EnumerationContext, PermCursor, PermSupport
+from .iterators import (ConcatCursor, Cursor, LinkedSet, ListCursor,
+                        Monomial, ProductCursor)
+
+__all__ = [
+    "Cursor", "ListCursor", "ProductCursor", "ConcatCursor", "LinkedSet",
+    "Monomial", "EnumerationContext", "PermSupport", "PermCursor",
+    "AnswerEnumerator", "AnswerCursor", "ProvenanceEnumerator",
+    "ENUM_WEIGHT",
+]

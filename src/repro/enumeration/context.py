@@ -1,0 +1,423 @@
+"""Enumeration of circuit values in the free semiring (Theorem 22).
+
+An :class:`EnumerationContext` interprets a compiled circuit over the free
+semiring F_A, representing every gate's value *lazily* by constant-delay
+bi-directional cursors:
+
+* the boolean *support* of every gate (the homomorphism ``F_A -> B`` of
+  Lemma 23) is maintained explicitly, with counters on addition and
+  multiplication gates and the Lemma 39 column-type structure on permanent
+  gates, so one input update costs O(affected gates);
+* cursors compose: products are lexicographic, additions walk the linked
+  set of supported children, and permanent gates run the recursive
+  expansion ``perm(M) = Σ_c M[r,c] · perm(M^{rc})`` with Hall-condition
+  matchability tests over column types — constant work per step for a
+  bounded number of rows.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..circuits import (AddGate, Circuit, ConstGate, GateId, InputGate,
+                        MulGate, PermGate)
+from .iterators import (ConcatCursor, Cursor, LinkedSet, ListCursor, Monomial,
+                        ProductCursor)
+
+
+class PermSupport:
+    """Lemma 39's structure for one permanent gate.
+
+    ``col_mask[c]`` is the bitmask of rows whose entry in column ``c`` is
+    present and currently supported; columns are bucketed into linked lists
+    by mask, with counts, so matchability (Hall's condition over at most
+    ``2^k`` types) and candidate iteration are O_k(1).
+    """
+
+    def __init__(self, gate: PermGate, supported: Callable[[GateId], bool]):
+        self.gate = gate
+        self.k = gate.rows
+        self.full = (1 << self.k) - 1
+        self.col_mask: List[int] = []
+        self.lists: Dict[int, LinkedSet] = {}
+        self.counts: Dict[int, int] = {}
+        for col in range(gate.cols):
+            mask = 0
+            for row in range(self.k):
+                entry = gate.entries[row][col]
+                if entry is not None and supported(entry):
+                    mask |= 1 << row
+            self.col_mask.append(mask)
+            self._insert(col, mask)
+
+    def _insert(self, col: int, mask: int) -> None:
+        bucket = self.lists.get(mask)
+        if bucket is None:
+            bucket = self.lists[mask] = LinkedSet()
+        bucket.add(col)
+        self.counts[mask] = self.counts.get(mask, 0) + 1
+
+    def _discard(self, col: int, mask: int) -> None:
+        self.lists[mask].remove(col)
+        self.counts[mask] -= 1
+
+    def set_entry_support(self, row: int, col: int, supported: bool) -> None:
+        old = self.col_mask[col]
+        new = (old | (1 << row)) if supported else (old & ~(1 << row))
+        if new == old:
+            return
+        self._discard(col, old)
+        self.col_mask[col] = new
+        self._insert(col, new)
+
+    def available(self, mask: int, excluded: Sequence[int]) -> int:
+        """Columns of exactly this type, minus specific exclusions."""
+        count = self.counts.get(mask, 0)
+        for exc in excluded:
+            if exc == mask:
+                count -= 1
+        return count
+
+    def matchable(self, rows_mask: int, excluded_masks: Sequence[int] = ()
+                  ) -> bool:
+        """Hall's condition: can the rows in ``rows_mask`` be matched to
+        distinct supported columns, with ``excluded_masks`` removed?"""
+        if rows_mask == 0:
+            return True
+        # Iterate subsets S of rows_mask; need |N(S)| >= |S|.
+        subset = rows_mask
+        while True:
+            hitting = 0
+            for mask, count in self.counts.items():
+                if mask & subset:
+                    hitting += count
+            for exc in excluded_masks:
+                if exc & subset:
+                    hitting -= 1
+            if hitting < bin(subset).count("1"):
+                return False
+            if subset == 0:
+                return True
+            subset = (subset - 1) & rows_mask
+            if subset == 0:
+                return True
+
+
+class EnumerationContext:
+    """Lazy free-semiring evaluation of a circuit with dynamic supports.
+
+    ``base`` maps input keys to lists of monomials (the bi-directional
+    iterators of the input weights).  Updates via :meth:`set_input`
+    invalidate previously created cursors (the paper's phases: updates and
+    enumeration interleave, but an enumerator is obtained fresh after an
+    update round).
+    """
+
+    def __init__(self, circuit: Circuit,
+                 base: Dict[Hashable, Sequence[Monomial]]):
+        self.circuit = circuit
+        self.live = circuit.live_gates()
+        self.live_set = set(self.live)
+        self.values: Dict[GateId, List[Monomial]] = {}
+        self.support: Dict[GateId, bool] = {}
+        self.perm: Dict[GateId, PermSupport] = {}
+        #: supported (position, child) pairs per addition gate
+        self.add_children: Dict[GateId, LinkedSet] = {}
+        self.mul_bad: Dict[GateId, int] = {}
+        self.parents: Dict[GateId, List[Tuple[GateId, Tuple]]] = \
+            {g: [] for g in self.live}
+        self.version = 0
+        for gate_id in self.live:
+            gate = circuit.gates[gate_id]
+            if isinstance(gate, InputGate):
+                items = list(base.get(gate.key, []))
+                self.values[gate_id] = items
+                self.support[gate_id] = bool(items)
+            elif isinstance(gate, ConstGate):
+                count = gate.value if isinstance(gate.value, int) \
+                    else (1 if gate.value else 0)
+                items = [()] * max(0, count)
+                self.values[gate_id] = items
+                self.support[gate_id] = bool(items)
+            elif isinstance(gate, AddGate):
+                bucket = LinkedSet()
+                for position, child in enumerate(gate.children):
+                    self.parents[child].append(
+                        (gate_id, ("add", position)))
+                    if self.support[child]:
+                        bucket.add((position, child))
+                self.add_children[gate_id] = bucket
+                self.support[gate_id] = len(bucket) > 0
+            elif isinstance(gate, MulGate):
+                bad = 0
+                for child in gate.children:
+                    self.parents[child].append((gate_id, ("mul",)))
+                    if not self.support[child]:
+                        bad += 1
+                self.mul_bad[gate_id] = bad
+                self.support[gate_id] = bad == 0
+            elif isinstance(gate, PermGate):
+                for row, entries in enumerate(gate.entries):
+                    for col, entry in enumerate(entries):
+                        if entry is not None:
+                            self.parents[entry].append(
+                                (gate_id, ("perm", row, col)))
+                ps = PermSupport(gate, lambda g: self.support[g])
+                self.perm[gate_id] = ps
+                self.support[gate_id] = ps.matchable(ps.full)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown gate {gate!r}")
+
+    # -- dynamic maintenance ------------------------------------------------------
+
+    def set_input(self, key: Hashable, monomials: Sequence[Monomial]) -> int:
+        """Replace an input's monomial list; maintains supports upward."""
+        gate_id = self.circuit.inputs.get(key)
+        if gate_id is None or gate_id not in self.live_set:
+            return 0
+        self.version += 1
+        self.values[gate_id] = list(monomials)
+        new_support = bool(monomials)
+        if new_support == self.support[gate_id]:
+            return 1
+        return self._flip(gate_id, new_support)
+
+    def _flip(self, gate_id: GateId, new_support: bool) -> int:
+        self.support[gate_id] = new_support
+        pending: List[GateId] = []
+        queued = set()
+        self._notify_parents(gate_id, new_support, pending, queued)
+        touched = 1
+        while pending:
+            current = heapq.heappop(pending)
+            queued.discard(current)
+            touched += 1
+            gate = self.circuit.gates[current]
+            if isinstance(gate, AddGate):
+                new = len(self.add_children[current]) > 0
+            elif isinstance(gate, MulGate):
+                new = self.mul_bad[current] == 0
+            else:
+                ps = self.perm[current]
+                new = ps.matchable(ps.full)
+            if new == self.support[current]:
+                continue
+            self.support[current] = new
+            self._notify_parents(current, new, pending, queued)
+        return touched
+
+    def _notify_parents(self, gate_id: GateId, supported: bool,
+                        pending: List[GateId], queued: set) -> None:
+        for parent, position in self.parents[gate_id]:
+            kind = position[0]
+            if kind == "add":
+                pair = (position[1], gate_id)
+                if supported:
+                    self.add_children[parent].add(pair)
+                else:
+                    self.add_children[parent].remove(pair)
+            elif kind == "mul":
+                self.mul_bad[parent] += -1 if supported else 1
+            else:
+                _, row, col = position
+                self.perm[parent].set_entry_support(row, col, supported)
+            if parent not in queued:
+                queued.add(parent)
+                heapq.heappush(pending, parent)
+
+    # -- cursors ---------------------------------------------------------------
+
+    def supported(self) -> bool:
+        return self.support[self.circuit.output]
+
+    def cursor(self, gate_id: Optional[GateId] = None) -> Cursor:
+        """A fresh cursor over the gate's monomials (gate must be
+        supported); default: the output gate."""
+        if gate_id is None:
+            gate_id = self.circuit.output
+        if not self.support[gate_id]:
+            raise ValueError("cannot enumerate an unsupported (zero) gate")
+        gate = self.circuit.gates[gate_id]
+        if isinstance(gate, (InputGate, ConstGate)):
+            return ListCursor(self.values[gate_id])
+        if isinstance(gate, AddGate):
+            return ConcatCursorLinked(self, gate_id)
+        if isinstance(gate, MulGate):
+            return ProductCursor([self.cursor(c) for c in gate.children])
+        if isinstance(gate, PermGate):
+            return PermCursor(self, gate_id)
+        raise TypeError(f"unknown gate {gate!r}")  # pragma: no cover
+
+
+class ConcatCursorLinked(Cursor):
+    """ConcatCursor over a LinkedSet of (position, child) pairs."""
+
+    def __init__(self, ctx: EnumerationContext, gate_id: GateId):
+        self.ctx = ctx
+        self.linked = ctx.add_children[gate_id]
+        self.item = self.linked.first()
+        self.child = ctx.cursor(self.item[1])
+
+    def current(self) -> Monomial:
+        return self.child.current()
+
+    def advance(self) -> bool:
+        if not self.child.advance():
+            return False
+        nxt = self.linked.after(self.item)
+        wrapped = nxt is None
+        self.item = self.linked.first() if wrapped else nxt
+        self.child = self.ctx.cursor(self.item[1])
+        return wrapped
+
+    def retreat(self) -> bool:
+        wrapped = False
+        if self.child.retreat():
+            prv = self.linked.before(self.item)
+            wrapped = prv is None
+            self.item = self.linked.last() if wrapped else prv
+            self.child = self.ctx.cursor(self.item[1])
+            self.child.seek_last()
+        return wrapped
+
+
+class PermCursor(Cursor):
+    """Lemma 23: bi-directional enumeration of a permanent gate's value.
+
+    Levels follow the fixed row order; each level holds a chosen column
+    (valid: entry supported, unused, remainder matchable) and a cursor into
+    the entry's own monomials.  Steps are O_k(1): candidate columns come
+    from the per-type linked lists, skipping at most ``k`` used columns.
+    """
+
+    def __init__(self, ctx: EnumerationContext, gate_id: GateId):
+        self.ctx = ctx
+        self.gate: PermGate = ctx.circuit.gates[gate_id]
+        self.ps = ctx.perm[gate_id]
+        self.k = self.ps.k
+        self.columns: List[Optional[int]] = [None] * self.k
+        self.entry_cursors: List[Optional[Cursor]] = [None] * self.k
+        if not self._build_from(0, last=False):  # pragma: no cover
+            raise ValueError("permanent gate is unsupported")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _used_masks(self, level: int) -> List[int]:
+        return [self.ps.col_mask[self.columns[i]] for i in range(level)]
+
+    def _rest_mask(self, level: int) -> int:
+        """Rows strictly below ``level`` (still to be assigned)."""
+        return self.ps.full & ~((1 << (level + 1)) - 1)
+
+    def _mask_ok(self, level: int, mask: int) -> bool:
+        if not (mask >> level) & 1:
+            return False
+        used = self._used_masks(level)
+        if self.ps.available(mask, used) < 1:
+            return False
+        return self.ps.matchable(self._rest_mask(level), used + [mask])
+
+    def _valid_masks(self, level: int) -> List[int]:
+        return [m for m in sorted(self.ps.lists)
+                if self.ps.counts.get(m, 0) > 0 and self._mask_ok(level, m)]
+
+    def _col_ok(self, level: int, col: int) -> bool:
+        return col not in self.columns[:level]
+
+    def _scan(self, level: int, mask: int, col: Optional[int],
+              forward: bool) -> Optional[int]:
+        """Next unused column of this type after/before ``col`` (or the
+        first/last when ``col`` is None); skips at most k used columns."""
+        bucket = self.ps.lists[mask]
+        if col is None:
+            col = bucket.first() if forward else bucket.last()
+        else:
+            col = bucket.after(col) if forward else bucket.before(col)
+        while col is not None and not self._col_ok(level, col):
+            col = bucket.after(col) if forward else bucket.before(col)
+        return col
+
+    def _enter_level(self, level: int, last: bool) -> bool:
+        """Position ``level`` on its first (or last) valid column."""
+        masks = self._valid_masks(level)
+        if not masks:
+            return False
+        ordered = masks if not last else list(reversed(masks))
+        for mask in ordered:
+            col = self._scan(level, mask, None, forward=not last)
+            if col is not None:
+                self._set_column(level, col, last)
+                return True
+        return False  # pragma: no cover - masks imply availability
+
+    def _set_column(self, level: int, col: int, last: bool) -> None:
+        self.columns[level] = col
+        entry = self.gate.entries[level][col]
+        cursor = self.ctx.cursor(entry)
+        if last:
+            cursor.seek_last()
+        self.entry_cursors[level] = cursor
+
+    def _build_from(self, level: int, last: bool) -> bool:
+        for lvl in range(level, self.k):
+            if not self._enter_level(lvl, last):
+                return False
+        return True
+
+    def _shift_column(self, level: int, forward: bool) -> bool:
+        """Move this level to the next/previous valid column."""
+        current = self.columns[level]
+        mask = self.ps.col_mask[current]
+        col = self._scan(level, mask, current, forward)
+        if col is not None:
+            self._set_column(level, col, last=not forward)
+            return True
+        masks = self._valid_masks(level)
+        index = masks.index(mask) if mask in masks else -1
+        candidates = masks[index + 1:] if forward else \
+            list(reversed(masks[:index])) if index >= 0 else []
+        for nxt in candidates:
+            col = self._scan(level, nxt, None, forward)
+            if col is not None:
+                self._set_column(level, col, last=not forward)
+                return True
+        return False
+
+    # -- Cursor interface --------------------------------------------------------
+
+    def current(self) -> Monomial:
+        out: Tuple[Hashable, ...] = ()
+        for cursor in self.entry_cursors:
+            out = out + cursor.current()
+        return out
+
+    def _step(self, forward: bool) -> bool:
+        """One odometer step over the digit sequence
+        ``col_0, ent_0, ..., col_{k-1}, ent_{k-1}`` (rightmost fastest).
+
+        When a level's entry cursor moves without wrapping, or its column
+        shifts, all deeper levels reset to their first (resp. last)
+        configuration — which always succeeds because the shallower prefix
+        was chosen rest-matchable.
+        """
+        last = not forward
+        for level in reversed(range(self.k)):
+            cursor = self.entry_cursors[level]
+            wrapped = cursor.advance() if forward else cursor.retreat()
+            if not wrapped:
+                if not self._build_from(level + 1, last):  # pragma: no cover
+                    raise AssertionError("prefix lost its completion")
+                return False
+            if self._shift_column(level, forward):
+                if not self._build_from(level + 1, last):  # pragma: no cover
+                    raise AssertionError("matchable column lost completion")
+                return False
+        self._build_from(0, last)
+        return True
+
+    def advance(self) -> bool:
+        return self._step(forward=True)
+
+    def retreat(self) -> bool:
+        return self._step(forward=False)

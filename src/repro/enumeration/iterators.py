@@ -1,0 +1,203 @@
+"""Bi-directional constant-delay cursors (paper §5, "Iterators").
+
+A cursor ranges cyclically over a nonempty sequence of *monomials* (tuples
+of generator identifiers).  ``advance``/``retreat`` move by one position
+and report wrap-around — the paper's ``next``/``previous`` modulo length.
+Compound cursors (products, concatenations) compose child cursors with
+O(1) extra work per step, which is what makes the overall enumerator
+constant-delay for bounded-depth circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+Monomial = Tuple[Hashable, ...]
+
+
+class Cursor:
+    """Cyclic bi-directional cursor over a nonempty monomial sequence."""
+
+    def current(self) -> Monomial:
+        raise NotImplementedError
+
+    def advance(self) -> bool:
+        """Move forward; True when wrapping from the last to the first."""
+        raise NotImplementedError
+
+    def retreat(self) -> bool:
+        """Move backward; True when wrapping from the first to the last."""
+        raise NotImplementedError
+
+    def seek_last(self) -> None:
+        """Position on the last element (fresh cursors start at the first)."""
+        self.retreat()
+
+    def iterate(self, limit: Optional[int] = None) -> Iterable[Monomial]:
+        """One full cycle of monomials (test/demo helper)."""
+        count = 0
+        while True:
+            yield self.current()
+            count += 1
+            if limit is not None and count >= limit:
+                return
+            if self.advance():
+                return
+
+
+class ListCursor(Cursor):
+    """Cursor over an explicit list (input gates, constants)."""
+
+    def __init__(self, items: Sequence[Monomial]):
+        if not items:
+            raise ValueError("cursor over an empty list")
+        self.items = list(items)
+        self.index = 0
+
+    def current(self) -> Monomial:
+        return self.items[self.index]
+
+    def advance(self) -> bool:
+        self.index += 1
+        if self.index == len(self.items):
+            self.index = 0
+            return True
+        return False
+
+    def retreat(self) -> bool:
+        self.index -= 1
+        if self.index < 0:
+            self.index = len(self.items) - 1
+            return True
+        return False
+
+
+class ProductCursor(Cursor):
+    """Lexicographic product: the monomial is the concatenation of the
+    children's monomials; the rightmost child moves fastest."""
+
+    def __init__(self, children: Sequence[Cursor]):
+        if not children:
+            raise ValueError("product of zero cursors")
+        self.children = list(children)
+
+    def current(self) -> Monomial:
+        out: Tuple[Hashable, ...] = ()
+        for child in self.children:
+            out = out + child.current()
+        return out
+
+    def advance(self) -> bool:
+        for child in reversed(self.children):
+            if not child.advance():
+                return False
+        return True
+
+    def retreat(self) -> bool:
+        for child in reversed(self.children):
+            if not child.retreat():
+                return False
+        return True
+
+
+class ConcatCursor(Cursor):
+    """Concatenation of nonempty child enumerations (addition gates).
+
+    ``factories`` produce a fresh cursor per child; children are visited in
+    order, cycling back to the first after the last.
+    """
+
+    def __init__(self, factories: Sequence[Callable[[], Cursor]]):
+        if not factories:
+            raise ValueError("concatenation of zero cursors")
+        self.factories = list(factories)
+        self.position = 0
+        self.child = self.factories[0]()
+
+    def current(self) -> Monomial:
+        return self.child.current()
+
+    def advance(self) -> bool:
+        if not self.child.advance():
+            return False
+        self.position += 1
+        if self.position == len(self.factories):
+            self.position = 0
+            self.child = self.factories[0]()
+            return True
+        self.child = self.factories[self.position]()
+        return False
+
+    def retreat(self) -> bool:
+        wrapped = False
+        # A fresh child sits on its first element; retreating from it moves
+        # to the previous child's last element.
+        if self.child.retreat():
+            self.position -= 1
+            if self.position < 0:
+                self.position = len(self.factories) - 1
+                wrapped = True
+            self.child = self.factories[self.position]()
+            self.child.seek_last()
+        return wrapped
+
+
+class LinkedSet:
+    """Insertion-ordered set with O(1) add/remove/first/next/prev.
+
+    The per-type column lists of Lemma 39: doubly linked via dictionaries.
+    """
+
+    _HEAD = object()
+
+    def __init__(self):
+        self.next: Dict = {self._HEAD: self._HEAD}
+        self.prev: Dict = {self._HEAD: self._HEAD}
+
+    def __len__(self) -> int:
+        return len(self.next) - 1
+
+    def __contains__(self, item) -> bool:
+        return item in self.next
+
+    def add(self, item) -> None:
+        if item in self.next:
+            return
+        tail = self.prev[self._HEAD]
+        self.next[tail] = item
+        self.prev[item] = tail
+        self.next[item] = self._HEAD
+        self.prev[self._HEAD] = item
+
+    def remove(self, item) -> None:
+        if item not in self.next:
+            return
+        before, after = self.prev[item], self.next[item]
+        self.next[before] = after
+        self.prev[after] = before
+        del self.next[item]
+        del self.prev[item]
+
+    def first(self):
+        item = self.next[self._HEAD]
+        return None if item is self._HEAD else item
+
+    def last(self):
+        item = self.prev[self._HEAD]
+        return None if item is self._HEAD else item
+
+    def after(self, item):
+        nxt = self.next[item]
+        return None if nxt is self._HEAD else nxt
+
+    def before(self, item):
+        prv = self.prev[item]
+        return None if prv is self._HEAD else prv
+
+    def items(self) -> List:
+        out = []
+        item = self.first()
+        while item is not None:
+            out.append(item)
+            item = self.after(item)
+        return out

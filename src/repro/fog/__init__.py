@@ -1,0 +1,19 @@
+"""Nested weighted queries FO[C] / FOG[C] (system S11): Theorem 26."""
+
+from .connectives import (at_least, divide, divide_into_max_plus,
+                          equals_value, greater_than, into, iverson,
+                          less_than, modulo_test)
+from .evaluator import (FogResult, eval_fog_naive, evaluate_fog, to_formula,
+                        to_wexpr)
+from .syntax import (Connective, FogExpr, SAdd, SAtom, SConst, SEq, SGuarded,
+                     SIverson, SMul, SNot, SSum, STruth, guarded, s_exists,
+                     s_sum)
+
+__all__ = [
+    "FogExpr", "SAtom", "SEq", "SConst", "STruth", "SNot", "SAdd", "SMul",
+    "SSum", "SIverson", "SGuarded", "Connective", "s_sum", "s_exists",
+    "guarded", "evaluate_fog", "eval_fog_naive", "FogResult", "to_formula",
+    "to_wexpr", "divide", "divide_into_max_plus", "less_than",
+    "greater_than", "at_least", "equals_value", "modulo_test", "iverson",
+    "into",
+]

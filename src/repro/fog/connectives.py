@@ -1,0 +1,71 @@
+"""A library of connectives between semirings (paper §7's examples)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..semirings import (BOOLEAN, FLOAT, INTEGER, MAX_PLUS, NATURAL,
+                         RATIONAL, Semiring)
+from .syntax import Connective
+
+
+def divide(numerator: Semiring = NATURAL, result: Semiring = RATIONAL
+           ) -> Connective:
+    """``/ : S x S -> Q`` mapping ``(p, q)`` to ``p/q`` (0 when q = 0)."""
+    def fn(p, q):
+        if q == 0:
+            return result.coerce(0)
+        return Fraction(p) / Fraction(q) if result is RATIONAL else p / q
+    return Connective("/", fn, (numerator, numerator), result)
+
+
+def divide_into_max_plus(numerator: Semiring = NATURAL) -> Connective:
+    """``/ : N x N -> Q_max`` — the intro's max-average example: the
+    quotient lives in ``(Q u {-inf}, max, +)`` so the outer aggregation can
+    maximize it."""
+    def fn(p, q):
+        if q == 0:
+            return MAX_PLUS.zero
+        return p / q
+    return Connective("/max", fn, (numerator, numerator), MAX_PLUS)
+
+
+def less_than(domain: Semiring = NATURAL) -> Connective:
+    """``< : S x S -> B`` (the order on numeric carriers)."""
+    return Connective("<", lambda a, b: a < b, (domain, domain), BOOLEAN)
+
+
+def greater_than(domain: Semiring = NATURAL) -> Connective:
+    return Connective(">", lambda a, b: a > b, (domain, domain), BOOLEAN)
+
+
+def at_least(threshold, domain: Semiring = NATURAL) -> Connective:
+    """Unary threshold test ``(. >= t) : S -> B`` — the numerical
+    predicates P of FOC(P) [15, 12]."""
+    return Connective(f">={threshold}", lambda a: a >= threshold,
+                      (domain,), BOOLEAN)
+
+
+def equals_value(target, domain: Semiring = NATURAL) -> Connective:
+    return Connective(f"=={target}", lambda a: a == target,
+                      (domain,), BOOLEAN)
+
+
+def modulo_test(modulus: int, remainder: int = 0,
+                domain: Semiring = INTEGER) -> Connective:
+    """``(. ≡ r mod m) : Z -> B`` — the MOD quantifiers of [3]."""
+    return Connective(f"mod{modulus}", lambda a: a % modulus == remainder,
+                      (domain,), BOOLEAN)
+
+
+def iverson(target: Semiring) -> Connective:
+    """``[.]_S : B -> S`` as an explicit connective."""
+    return Connective(f"[.]_{target.name}",
+                      lambda b: target.one if b else target.zero,
+                      (BOOLEAN,), target)
+
+
+def into(source: Semiring, target: Semiring, fn=None,
+         name: str = "into") -> Connective:
+    """A generic unary carrier conversion (e.g. N -> Q, Q -> Q_max)."""
+    return Connective(name, fn or (lambda a: a), (source,), target)

@@ -1,0 +1,232 @@
+"""Syntax of the nested weighted query languages FO[C] / FOG[C] (paper §7).
+
+Formulas are S-valued for semirings ``S`` drawn from a collection ``C`` of
+semirings and connectives.  Building blocks:
+
+* :class:`SAtom` — an S-relation atom ``R(x̄)`` (a B-relation when
+  ``S = B``; otherwise interpreted by a weight function of the structure);
+* :class:`SEq`, :class:`SNot`, :class:`STruth` — boolean machinery;
+* :class:`SConst`, :class:`SAdd`, :class:`SMul`, :class:`SSum` — semiring
+  operations and aggregation (``Σ_x`` is ``∃`` in B);
+* :class:`SIverson` — ``[φ]_S`` for quantifier-free boolean ``φ``;
+* :class:`SGuarded` — the FOG[C] guarded connective
+  ``[R(x_1..x_l)]_S · c(φ^1, ..., φ^k)``, where the guard's variables
+  contain all free variables of the arguments.
+
+Typing is checked at construction: operands of ``+``/``·`` must share the
+output semiring, connective arguments must match the declared signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, FrozenSet, Sequence, Tuple
+
+from ..semirings import BOOLEAN, Semiring
+
+
+@dataclass(frozen=True)
+class Connective:
+    """A typed function ``c : S_1 x ... x S_k -> S`` between semirings."""
+
+    name: str
+    fn: Callable
+    arg_semirings: Tuple[Semiring, ...]
+    result: Semiring
+
+    def __call__(self, *values):
+        return self.fn(*values)
+
+
+class FogExpr:
+    """Base class; every node knows its output semiring."""
+
+    semiring: Semiring = BOOLEAN
+
+    def free_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def __add__(self, other: "FogExpr") -> "FogExpr":
+        return SAdd((self, other))
+
+    def __mul__(self, other: "FogExpr") -> "FogExpr":
+        return SMul((self, other))
+
+    def __and__(self, other: "FogExpr") -> "FogExpr":
+        return SMul((self, other))
+
+    def __or__(self, other: "FogExpr") -> "FogExpr":
+        return SAdd((self, other))
+
+    def __invert__(self) -> "FogExpr":
+        return SNot(self)
+
+
+def _check_same_semiring(parts: Sequence[FogExpr], context: str) -> Semiring:
+    semirings = {id(p.semiring) for p in parts}
+    if len(semirings) != 1:
+        names = sorted({p.semiring.name for p in parts})
+        raise TypeError(f"{context}: mixed semirings {names} (use a "
+                        f"connective to convert)")
+    return parts[0].semiring
+
+
+@dataclass(frozen=True)
+class STruth(FogExpr):
+    value: bool
+    semiring: Semiring = field(default=BOOLEAN, compare=False)
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class SAtom(FogExpr):
+    """``R(x̄)``: a B-relation (if ``semiring is BOOLEAN``) or an
+    S-relation interpreted by the structure's weight ``name``."""
+
+    name: str
+    terms: Tuple[str, ...]
+    semiring: Semiring = field(default=BOOLEAN, compare=False)
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset(self.terms)
+
+
+@dataclass(frozen=True)
+class SEq(FogExpr):
+    left: str
+    right: str
+    semiring: Semiring = field(default=BOOLEAN, compare=False)
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset((self.left, self.right))
+
+
+@dataclass(frozen=True)
+class SConst(FogExpr):
+    value: Any
+    semiring: Semiring = field(compare=False, default=BOOLEAN)
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class SNot(FogExpr):
+    """Negation — B-valued only (paper §7 syntax)."""
+
+    inner: FogExpr
+    semiring: Semiring = field(default=BOOLEAN, compare=False)
+
+    def __post_init__(self):
+        if self.inner.semiring is not BOOLEAN:
+            raise TypeError("negation applies to B-valued formulas only")
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.inner.free_vars()
+
+
+@dataclass(frozen=True)
+class SAdd(FogExpr):
+    parts: Tuple[FogExpr, ...]
+    semiring: Semiring = field(default=BOOLEAN, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "semiring",
+                           _check_same_semiring(self.parts, "+"))
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.free_vars() for p in self.parts))
+
+
+@dataclass(frozen=True)
+class SMul(FogExpr):
+    parts: Tuple[FogExpr, ...]
+    semiring: Semiring = field(default=BOOLEAN, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "semiring",
+                           _check_same_semiring(self.parts, "*"))
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.free_vars() for p in self.parts))
+
+
+@dataclass(frozen=True)
+class SSum(FogExpr):
+    """``Σ_x φ`` in φ's semiring (``∃x`` when that semiring is B)."""
+
+    vars: Tuple[str, ...]
+    inner: FogExpr
+    semiring: Semiring = field(default=BOOLEAN, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "semiring", self.inner.semiring)
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.inner.free_vars() - frozenset(self.vars)
+
+
+@dataclass(frozen=True)
+class SIverson(FogExpr):
+    """``[φ]_S`` for a B-valued φ (the bracket connective)."""
+
+    inner: FogExpr
+    semiring: Semiring = field(compare=False, default=BOOLEAN)
+
+    def __post_init__(self):
+        if self.inner.semiring is not BOOLEAN:
+            raise TypeError("[.]_S applies to B-valued formulas")
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.inner.free_vars()
+
+
+@dataclass(frozen=True)
+class SGuarded(FogExpr):
+    """The FOG[C] guarded connective ``[R(x̄)]_S · c(φ^1, ..., φ^k)``."""
+
+    guard_relation: str
+    guard_terms: Tuple[str, ...]
+    connective: Connective
+    args: Tuple[FogExpr, ...]
+    semiring: Semiring = field(default=BOOLEAN, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "semiring", self.connective.result)
+        if len(self.args) != len(self.connective.arg_semirings):
+            raise TypeError(f"{self.connective.name} expects "
+                            f"{len(self.connective.arg_semirings)} arguments")
+        for arg, expected in zip(self.args, self.connective.arg_semirings):
+            if arg.semiring is not expected:
+                raise TypeError(
+                    f"{self.connective.name}: argument semiring "
+                    f"{arg.semiring.name} != declared {expected.name}")
+        guard_vars = set(self.guard_terms)
+        for arg in self.args:
+            if not arg.free_vars() <= guard_vars:
+                raise TypeError(
+                    "FOG[C] requires the guard's variables to contain all "
+                    "free variables of the connective's arguments "
+                    "(paper §7)")
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset(self.guard_terms)
+
+
+# -- convenience constructors ---------------------------------------------------
+
+def s_sum(variables, inner: FogExpr) -> SSum:
+    if isinstance(variables, str):
+        variables = (variables,)
+    return SSum(tuple(variables), inner)
+
+
+def s_exists(variables, inner: FogExpr) -> SSum:
+    return s_sum(variables, inner)
+
+
+def guarded(relation: str, terms: Sequence[str], connective: Connective,
+            *args: FogExpr) -> SGuarded:
+    return SGuarded(relation, tuple(terms), connective, tuple(args))

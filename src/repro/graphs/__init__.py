@@ -1,0 +1,27 @@
+"""Sparse-graph substrate (system S3): degeneracy, treedepth, colorings."""
+
+from .coloring import (color_classes, fraternal_transitive_step,
+                       greedy_coloring, low_treedepth_coloring,
+                       verify_low_treedepth)
+from .generators import (bounded_depth_forest, caterpillar, complete_graph,
+                         cycle_graph, directed_edges_of, grid_graph,
+                         path_graph, random_bounded_degree, random_tree,
+                         sparse_binomial, star_graph, triangulated_grid)
+from .graph import Graph, Vertex
+from .orientation import Orientation, degeneracy_ordering, enumerate_cliques
+from .treedepth import (RootedForest, dfs_forest, elimination_forest,
+                        exact_treedepth, longest_path_at_most,
+                        treedepth_forest)
+
+__all__ = [
+    "Graph", "Vertex", "Orientation", "degeneracy_ordering",
+    "enumerate_cliques", "RootedForest", "dfs_forest", "elimination_forest",
+    "exact_treedepth",
+    "treedepth_forest", "longest_path_at_most", "greedy_coloring",
+    "low_treedepth_coloring", "fraternal_transitive_step",
+    "verify_low_treedepth", "color_classes",
+    "path_graph", "cycle_graph", "star_graph", "complete_graph", "grid_graph",
+    "triangulated_grid", "random_tree", "bounded_depth_forest",
+    "random_bounded_degree", "sparse_binomial", "caterpillar",
+    "directed_edges_of",
+]

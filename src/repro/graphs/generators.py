@@ -1,0 +1,162 @@
+"""Graph generators for tests, examples and benchmark workloads.
+
+All generators produce members of well-known bounded-expansion classes:
+paths/cycles/trees/grids (planar, bounded degree), triangulated grids
+(planar, triangle-rich — the workload for the paper's triangle queries),
+bounded-degree random graphs, and sparse binomial graphs ``G(n, c/n)``
+(bounded expansion asymptotically almost surely).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from .graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` (treedepth ~ log n)."""
+    return Graph(range(n), [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n``."""
+    graph = path_graph(n)
+    if n > 2:
+        graph.add_edge(n - 1, 0)
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """``K_{1,n-1}``: one hub, ``n - 1`` leaves (treedepth 2)."""
+    return Graph(range(n), [(0, i) for i in range(1, n)])
+
+
+def complete_graph(n: int) -> Graph:
+    """``K_n`` — dense; used as a *negative* example in sparsity tests."""
+    return Graph(range(n), [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid: planar, max degree 4, no triangles."""
+    graph = Graph((r, c) for r in range(rows) for c in range(cols))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+    return graph
+
+
+def triangulated_grid(rows: int, cols: int) -> Graph:
+    """Grid plus one diagonal per face: planar, degree <= 8, triangle-rich."""
+    graph = grid_graph(rows, cols)
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            graph.add_edge((r, c), (r + 1, c + 1))
+    return graph
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform random recursive tree: each vertex attaches to a prior one."""
+    rng = random.Random(seed)
+    graph = Graph(range(n))
+    for v in range(1, n):
+        graph.add_edge(v, rng.randrange(v))
+    return graph
+
+
+def bounded_depth_forest(n: int, depth: int, seed: int = 0,
+                         roots: Optional[int] = None) -> Tuple[Graph, dict]:
+    """A random rooted forest of height at most ``depth`` levels.
+
+    Returns ``(graph, parent_map)`` where roots map to ``None``.  Used to
+    exercise the forest compiler (Case 1 of Theorem 6) directly.
+    """
+    rng = random.Random(seed)
+    if roots is None:
+        roots = max(1, n // max(1, 2 * depth))
+    parent: dict = {}
+    depths: List[int] = []
+    for v in range(n):
+        if v < roots:
+            parent[v] = None
+            depths.append(0)
+        else:
+            candidates = [u for u in range(v) if depths[u] < depth - 1]
+            if not candidates:
+                parent[v] = None
+                depths.append(0)
+                continue
+            chosen = rng.choice(candidates)
+            parent[v] = chosen
+            depths.append(depths[chosen] + 1)
+    graph = Graph(range(n),
+                  [(v, p) for v, p in parent.items() if p is not None])
+    return graph, parent
+
+
+def random_bounded_degree(n: int, degree: int, seed: int = 0) -> Graph:
+    """Random graph with maximum degree at most ``degree`` (greedy matching
+    of random stubs; simple and loop-free)."""
+    rng = random.Random(seed)
+    graph = Graph(range(n))
+    remaining = {v: degree for v in range(n)}
+    attempts = 4 * n * degree
+    while attempts > 0:
+        attempts -= 1
+        candidates = [v for v, slots in remaining.items() if slots > 0]
+        if len(candidates) < 2:
+            break
+        u, v = rng.sample(candidates, 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            remaining[u] -= 1
+            remaining[v] -= 1
+    return graph
+
+
+def sparse_binomial(n: int, average_degree: float = 2.0, seed: int = 0) -> Graph:
+    """``G(n, c/n)`` via the linear-time skip-sampling construction."""
+    rng = random.Random(seed)
+    graph = Graph(range(n))
+    probability = min(1.0, average_degree / max(1, n - 1))
+    if probability <= 0:
+        return graph
+    import math
+    log_q = math.log(1.0 - probability) if probability < 1.0 else None
+    v, w = 1, -1
+    while v < n:
+        if log_q is None:
+            w += 1
+        else:
+            w += 1 + int(math.log(1.0 - rng.random()) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w)
+    return graph
+
+
+def caterpillar(spine: int, legs: int) -> Graph:
+    """A caterpillar tree: path of length ``spine`` with ``legs`` per vertex."""
+    graph = path_graph(spine)
+    node = spine
+    for s in range(spine):
+        for _ in range(legs):
+            graph.add_edge(s, node)
+            node += 1
+    return graph
+
+
+def directed_edges_of(graph: Graph) -> List[Tuple[object, object]]:
+    """Both orientations of every edge — convenience for building digraph
+    relations (the paper's examples use directed ``E``)."""
+    out = []
+    for u, v in graph.edges():
+        out.append((u, v))
+        out.append((v, u))
+    return out

@@ -1,0 +1,124 @@
+"""A minimal undirected simple graph, the substrate for sparsity machinery.
+
+Vertices are arbitrary hashable objects.  The class stores adjacency sets;
+all sparsity algorithms (degeneracy, treedepth, colorings) consume it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class Graph:
+    """An undirected simple graph with hashable vertices."""
+
+    def __init__(self, vertices: Iterable[Vertex] = (),
+                 edges: Iterable[Edge] = ()):
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        for vertex in vertices:
+            self.add_vertex(vertex)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_vertex(self, v: Vertex) -> None:
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add an undirected edge (self-loops are ignored: Gaifman graphs
+        are simple by definition)."""
+        if u == v:
+            self.add_vertex(u)
+            return
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def add_clique(self, vertices: Iterable[Vertex]) -> None:
+        items = list(vertices)
+        for vertex in items:
+            self.add_vertex(vertex)
+        for i, u in enumerate(items):
+            for v in items[i + 1:]:
+                self.add_edge(u, v)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def vertices(self) -> List[Vertex]:
+        return list(self._adj)
+
+    def neighbors(self, v: Vertex) -> Set[Vertex]:
+        return self._adj[v]
+
+    def degree(self, v: Vertex) -> int:
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return v in self._adj.get(u, ())
+
+    def edge_count(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def edges(self) -> Iterator[Edge]:
+        seen: Set[Vertex] = set()
+        for u in self._adj:
+            for v in self._adj[u]:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        items = list(dict.fromkeys(vertices))
+        return all(self.has_edge(u, v)
+                   for i, u in enumerate(items) for v in items[i + 1:])
+
+    # -- derived graphs ----------------------------------------------------------
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        keep = set(vertices)
+        sub = Graph(vertices=keep)
+        for u in keep:
+            for v in self._adj.get(u, ()):
+                if v in keep:
+                    sub.add_edge(u, v)
+        return sub
+
+    def copy(self) -> "Graph":
+        return self.subgraph(self._adj)
+
+    def connected_components(self) -> List[List[Vertex]]:
+        seen: Set[Vertex] = set()
+        components: List[List[Vertex]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            stack, component = [start], []
+            seen.add(start)
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for nbr in self._adj[node]:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        stack.append(nbr)
+            components.append(component)
+        return components
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Graph n={len(self)} m={self.edge_count()}>"

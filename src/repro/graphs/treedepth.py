@@ -1,0 +1,268 @@
+"""Treedepth machinery: DFS forests, exact treedepth, elimination forests.
+
+A rooted forest *covers* a graph when every edge joins an ancestor-descendant
+pair.  Depth-first search forests have this property automatically (every
+non-tree edge of an undirected DFS is a back edge), and on graphs of bounded
+treedepth their depth is bounded because long paths are absent (paper,
+Example 2: treedepth ``d`` implies no path longer than ``2^d``).
+
+:func:`exact_treedepth` is an exponential-time oracle used by the test suite
+to validate colorings and encodings on small graphs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .graph import Graph, Vertex
+
+
+class RootedForest:
+    """A rooted forest: ``parent[root] is None``; depth of roots is 0."""
+
+    def __init__(self, parent: Dict[Vertex, Optional[Vertex]]):
+        self.parent = dict(parent)
+        self.depth: Dict[Vertex, int] = {}
+        self.children: Dict[Vertex, List[Vertex]] = {v: [] for v in parent}
+        self.roots: List[Vertex] = []
+        for vertex, par in parent.items():
+            if par is None:
+                self.roots.append(vertex)
+            else:
+                self.children[par].append(vertex)
+        # Depths via BFS from the roots.
+        queue = list(self.roots)
+        for root in self.roots:
+            self.depth[root] = 0
+        index = 0
+        while index < len(queue):
+            node = queue[index]
+            index += 1
+            for child in self.children[node]:
+                self.depth[child] = self.depth[node] + 1
+                queue.append(child)
+        if len(self.depth) != len(self.parent):
+            raise ValueError("parent map contains a cycle")
+
+    def height(self) -> int:
+        """Number of levels (max depth + 1); 0 for the empty forest."""
+        return max(self.depth.values(), default=-1) + 1
+
+    def ancestor(self, vertex: Vertex, at_depth: int) -> Optional[Vertex]:
+        """The ancestor of ``vertex`` at the given depth (None if deeper)."""
+        if at_depth > self.depth[vertex]:
+            return None
+        node = vertex
+        while self.depth[node] > at_depth:
+            node = self.parent[node]
+        return node
+
+    def ancestors(self, vertex: Vertex) -> List[Vertex]:
+        """The path root -> ... -> vertex (inclusive), indexed by depth."""
+        path = []
+        node: Optional[Vertex] = vertex
+        while node is not None:
+            path.append(node)
+            node = self.parent[node]
+        path.reverse()
+        return path
+
+    def is_ancestor(self, ancestor: Vertex, vertex: Vertex) -> bool:
+        return self.ancestor(vertex, self.depth[ancestor]) == ancestor
+
+    def covers(self, graph: Graph) -> bool:
+        """Check the treedepth-decomposition property for ``graph``."""
+        return all(self.is_ancestor(u, v) or self.is_ancestor(v, u)
+                   for u, v in graph.edges())
+
+
+def dfs_forest(graph: Graph, order: List[Vertex] = None) -> RootedForest:
+    """A DFS spanning forest; every graph edge joins comparable vertices."""
+    if order is None:
+        order = graph.vertices()
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+    for start in order:
+        if start in parent:
+            continue
+        parent[start] = None
+        # Iterative DFS with an explicit neighbor cursor.
+        stack: List[Tuple[Vertex, List[Vertex], int]] = [
+            (start, sorted(graph.neighbors(start), key=repr), 0)]
+        while stack:
+            node, nbrs, cursor = stack[-1]
+            advanced = False
+            while cursor < len(nbrs):
+                nxt = nbrs[cursor]
+                cursor += 1
+                if nxt not in parent:
+                    parent[nxt] = node
+                    stack[-1] = (node, nbrs, cursor)
+                    stack.append((nxt, sorted(graph.neighbors(nxt), key=repr), 0))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+    return RootedForest(parent)
+
+
+def exact_treedepth(graph: Graph) -> int:
+    """Exact treedepth by branching over root choices (test oracle only).
+
+    ``td(G) = 1 + min over v of max over components C of G - v of td(C)``
+    for connected G; the max over components otherwise.  Exponential —
+    restricted to the small graphs used in tests.
+    """
+    if len(graph) > 16:
+        raise ValueError("exact_treedepth is an oracle for small graphs only")
+
+    index = {v: i for i, v in enumerate(sorted(graph.vertices(), key=repr))}
+    adjacency: Dict[int, FrozenSet[int]] = {
+        index[v]: frozenset(index[n] for n in graph.neighbors(v))
+        for v in graph.vertices()}
+
+    @lru_cache(maxsize=None)
+    def solve(vertices: FrozenSet[int]) -> int:
+        if not vertices:
+            return 0
+        components = _components(vertices)
+        if len(components) > 1:
+            return max(solve(c) for c in components)
+        if len(vertices) == 1:
+            return 1
+        return 1 + min(solve(vertices - {v}) for v in vertices)
+
+    def _components(vertices: FrozenSet[int]) -> List[FrozenSet[int]]:
+        remaining = set(vertices)
+        out = []
+        while remaining:
+            start = remaining.pop()
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nbr in adjacency[node] & vertices:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        remaining.discard(nbr)
+                        stack.append(nbr)
+            out.append(frozenset(seen))
+        return out
+
+    return solve(frozenset(adjacency))
+
+
+def treedepth_forest(graph: Graph) -> RootedForest:
+    """An *optimal-height* treedepth decomposition (small graphs only).
+
+    Mirrors :func:`exact_treedepth` but reconstructs the elimination forest.
+    """
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+
+    def build(vertices: List[Vertex], above: Optional[Vertex]) -> None:
+        sub = graph.subgraph(vertices)
+        for component in sub.connected_components():
+            if len(component) == 1:
+                parent[component[0]] = above
+                continue
+            comp_graph = graph.subgraph(component)
+            best_vertex, best_depth = None, None
+            for v in sorted(component, key=repr):
+                rest = comp_graph.subgraph([u for u in component if u != v])
+                depth = max((exact_treedepth(rest.subgraph(c))
+                             for c in rest.connected_components()), default=0)
+                if best_depth is None or depth < best_depth:
+                    best_vertex, best_depth = v, depth
+            parent[best_vertex] = above
+            build([u for u in component if u != best_vertex], best_vertex)
+
+    build(graph.vertices(), None)
+    return RootedForest(parent)
+
+
+def elimination_forest(graph: Graph) -> RootedForest:
+    """A shallow treedepth decomposition via recursive center removal.
+
+    Per connected component, remove a *center* vertex (the midpoint of a
+    double-BFS longest-shortest-path) and recurse on the remaining
+    components as its subtrees.  This is a valid treedepth decomposition of
+    any graph and achieves height ``O(td * log n)``-ish in practice — e.g.
+    ``ceil(log2 n)`` on paths, where a DFS forest would have height ``n``.
+    Cost: O(component size) per level.
+    """
+    parent: Dict[Vertex, Optional[Vertex]] = {}
+
+    def bfs_far(vertices: set, start: Vertex) -> List[Vertex]:
+        """BFS path from ``start`` to a farthest vertex inside ``vertices``."""
+        prev = {start: None}
+        queue, index = [start], 0
+        while index < len(queue):
+            node = queue[index]
+            index += 1
+            for nbr in graph.neighbors(node):
+                if nbr in vertices and nbr not in prev:
+                    prev[nbr] = node
+                    queue.append(nbr)
+        path = [queue[-1]]
+        while prev[path[-1]] is not None:
+            path.append(prev[path[-1]])
+        return path
+
+    def components_in(vertices: set) -> List[set]:
+        remaining = set(vertices)
+        out = []
+        while remaining:
+            start = remaining.pop()
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nbr in graph.neighbors(node):
+                    if nbr in remaining:
+                        remaining.discard(nbr)
+                        seen.add(nbr)
+                        stack.append(nbr)
+            out.append(seen)
+        return out
+
+    def build(vertices: set, above: Optional[Vertex]) -> None:
+        stack = [(vertices, above)]
+        while stack:
+            verts, up = stack.pop()
+            for component in components_in(verts):
+                if len(component) == 1:
+                    (only,) = component
+                    parent[only] = up
+                    continue
+                some = next(iter(component))
+                far = bfs_far(component, some)[0]
+                path = bfs_far(component, far)
+                center = path[len(path) // 2]
+                parent[center] = up
+                component.discard(center)
+                stack.append((component, center))
+
+    build(set(graph.vertices()), None)
+    return RootedForest(parent)
+
+
+def longest_path_at_most(graph: Graph, bound: int) -> bool:
+    """True when no simple path has more than ``bound`` vertices.
+
+    DFS-based check used to validate the Example 2 argument; exponential in
+    the worst case, applied to small graphs in tests.
+    """
+    def extend(path: List[Vertex], used: set) -> bool:
+        if len(path) > bound:
+            return False
+        for nbr in graph.neighbors(path[-1]):
+            if nbr not in used:
+                used.add(nbr)
+                path.append(nbr)
+                if not extend(path, used):
+                    return False
+                path.pop()
+                used.discard(nbr)
+        return True
+
+    return all(extend([v], {v}) for v in graph.vertices())

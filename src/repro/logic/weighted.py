@@ -1,0 +1,138 @@
+"""Weighted Σ(w)-expressions (paper §3).
+
+An expression is built from weight atoms ``w(x, y)``, Iverson brackets
+``[φ]`` of first-order formulas, semiring constants, ``+``, ``*`` and
+variable summation ``Σ_x``.  Python's ``+`` and ``*`` operators compose
+expressions; :func:`Sum` binds variables.
+
+Example (the paper's triangle query)::
+
+    f = Sum(("x", "y", "z"),
+            Bracket(E("x", "y") & E("y", "z") & E("z", "x"))
+            * w("x", "y") * w("y", "z") * w("z", "x"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple
+
+from .fo import Formula
+
+
+class WExpr:
+    """Base class for weighted expressions; supports ``+`` and ``*``."""
+
+    def free_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def __add__(self, other: "WExpr") -> "WExpr":
+        return WAdd((self, _lift(other)))
+
+    def __radd__(self, other: Any) -> "WExpr":
+        return WAdd((_lift(other), self))
+
+    def __mul__(self, other: "WExpr") -> "WExpr":
+        return WMul((self, _lift(other)))
+
+    def __rmul__(self, other: Any) -> "WExpr":
+        return WMul((_lift(other), self))
+
+
+def _lift(value: Any) -> "WExpr":
+    if isinstance(value, WExpr):
+        return value
+    if isinstance(value, Formula):
+        return Bracket(value)
+    return WConst(value)
+
+
+@dataclass(frozen=True)
+class WConst(WExpr):
+    """A semiring constant.  ``0``/``1``/small ints stay symbolic so the
+    same expression can be evaluated in any semiring (via ``coerce``);
+    other carrier values are passed through as-is."""
+
+    value: Any
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Weight(WExpr):
+    """A weight atom ``w(x1, ..., xr)`` over variables."""
+
+    name: str
+    terms: Tuple[str, ...]
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset(self.terms)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.terms)})"
+
+
+@dataclass(frozen=True)
+class Bracket(WExpr):
+    """The Iverson bracket ``[φ]``: 1 if φ holds, else 0."""
+
+    formula: Formula
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.formula.free_vars()
+
+    def __repr__(self) -> str:
+        return f"[{self.formula!r}]"
+
+
+@dataclass(frozen=True)
+class WAdd(WExpr):
+    parts: Tuple[WExpr, ...]
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.free_vars() for p in self.parts)) \
+            if self.parts else frozenset()
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class WMul(WExpr):
+    parts: Tuple[WExpr, ...]
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset().union(*(p.free_vars() for p in self.parts)) \
+            if self.parts else frozenset()
+
+    def __repr__(self) -> str:
+        return "(" + " * ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class WSum(WExpr):
+    """``Σ_{vars} inner`` — semiring aggregation over the domain."""
+
+    vars: Tuple[str, ...]
+    inner: WExpr
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.inner.free_vars() - frozenset(self.vars)
+
+    def __repr__(self) -> str:
+        return f"(Sum {','.join(self.vars)}. {self.inner!r})"
+
+
+def Sum(variables, inner: Any) -> WSum:
+    """``Σ_x inner``; accepts a single name or an iterable of names."""
+    if isinstance(variables, str):
+        variables = (variables,)
+    return WSum(tuple(variables), _lift(inner))
+
+
+def BracketOf(formula: Formula) -> Bracket:
+    return Bracket(formula)

@@ -1,0 +1,5 @@
+"""Quantifier elimination substitute (system S12) — see DESIGN.md §2."""
+
+from .materialize import eliminate_quantifiers, existential_sentence_value
+
+__all__ = ["eliminate_quantifiers", "existential_sentence_value"]

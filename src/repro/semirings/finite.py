@@ -1,0 +1,122 @@
+"""Finite semirings from Cayley tables, and the lasso arithmetic of Lemma 38.
+
+For a finite semiring the sequence ``s, 2*s, 3*s, ...`` of additive multiples
+is eventually periodic: a path (the "lasso" stem) followed by a cycle that
+forms a cyclic subgroup of ``(S, +)`` (Claim 2 in the paper's appendix).
+:class:`ScalarMultiplier` precomputes stem and cycle so that ``n * s`` is
+answered in constant time for arbitrarily large ``n`` — the key step that
+makes the finite-semiring permanent of Lemma 18 maintainable in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from .base import Semiring
+
+
+class TableSemiring(Semiring):
+    """A finite semiring given explicitly by its addition/multiplication tables.
+
+    ``add_table`` and ``mul_table`` map pairs of elements to elements.
+    The constructor validates the tables against the semiring axioms, so a
+    :class:`TableSemiring` is correct by construction.
+    """
+
+    is_finite = True
+
+    def __init__(self, elements: Sequence[Hashable],
+                 add_table: Mapping[Tuple[Any, Any], Any],
+                 mul_table: Mapping[Tuple[Any, Any], Any],
+                 zero: Any, one: Any, name: str = "table",
+                 validate: bool = True):
+        self._elements = list(elements)
+        self._add = dict(add_table)
+        self._mul = dict(mul_table)
+        self.zero = zero
+        self.one = one
+        self.name = name
+        if validate:
+            from .base import check_semiring_axioms
+            check_semiring_axioms(self, self._elements)
+
+    def add(self, a: Any, b: Any) -> Any:
+        return self._add[a, b]
+
+    def mul(self, a: Any, b: Any) -> Any:
+        return self._mul[a, b]
+
+    def elements(self) -> Sequence[Any]:
+        return list(self._elements)
+
+    @classmethod
+    def from_ops(cls, elements: Sequence[Hashable], add, mul, zero, one,
+                 name: str = "table") -> "TableSemiring":
+        """Tabulate Python functions ``add``/``mul`` over ``elements``."""
+        add_table = {(a, b): add(a, b) for a in elements for b in elements}
+        mul_table = {(a, b): mul(a, b) for a in elements for b in elements}
+        return cls(elements, add_table, mul_table, zero, one, name)
+
+
+def saturating_counter_semiring(cap: int) -> TableSemiring:
+    """The semiring ``({0..cap}, +sat, *sat)`` of counters saturating at ``cap``.
+
+    A genuinely non-ring finite semiring whose additive structure has a stem
+    of length ``cap`` and a trivial cycle — the extreme case for lasso
+    arithmetic.
+    """
+    elements = list(range(cap + 1))
+    return TableSemiring.from_ops(
+        elements,
+        add=lambda a, b: min(a + b, cap),
+        mul=lambda a, b: min(a * b, cap),
+        zero=0, one=1, name=f"sat-{cap}")
+
+
+class ScalarMultiplier:
+    """Constant-time ``n * s`` for one fixed element of a finite semiring.
+
+    Walks ``s, s+s, s+s+s, ...`` until a repeat; stores the stem and the
+    cycle.  ``n * s`` for ``n >= 1`` is then a table lookup at index
+    ``stem + (n - 1 - stem) mod cycle`` (0-based over the multiples list).
+    """
+
+    def __init__(self, sr: Semiring, s: Any):
+        self.sr = sr
+        self.element = s
+        multiples: List[Any] = []  # multiples[i] == (i+1) * s
+        seen: Dict[Any, int] = {}
+        current = s
+        while current not in seen:
+            seen[current] = len(multiples)
+            multiples.append(current)
+            current = sr.add(current, s)
+        self.multiples = multiples
+        self.stem = seen[current]          # index where the cycle starts
+        self.cycle = len(multiples) - self.stem
+
+    def times(self, n: int) -> Any:
+        """Return ``n * s`` (``n <= 0`` gives the semiring zero)."""
+        if n <= 0:
+            return self.sr.zero
+        index = n - 1
+        if index < len(self.multiples):
+            return self.multiples[index]
+        return self.multiples[self.stem + (index - self.stem) % self.cycle]
+
+
+class LassoArithmetic:
+    """Cache of :class:`ScalarMultiplier` objects per element of a semiring."""
+
+    def __init__(self, sr: Semiring):
+        self.sr = sr
+        self._cache: Dict[Any, ScalarMultiplier] = {}
+
+    def scale(self, n: int, s: Any) -> Any:
+        if n <= 0 or self.sr.is_zero(s):
+            return self.sr.zero if n <= 0 else s if n == 1 else self.sr.zero
+        try:
+            mult = self._cache[s]
+        except KeyError:
+            mult = self._cache[s] = ScalarMultiplier(self.sr, s)
+        return mult.times(n)

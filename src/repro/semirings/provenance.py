@@ -1,0 +1,126 @@
+"""The free commutative semiring F_A (provenance semiring, paper §5).
+
+Elements are formal N-linear combinations of monomials over a set of
+generators -- isomorphic to polynomials N[A].  This is the *eager*
+representation, suitable for small instances and for cross-checking the
+lazy enumerator representation of Theorem 22 (see ``repro.enumeration``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Mapping, Tuple
+
+from .base import Semiring
+
+Monomial = Tuple[Hashable, ...]
+
+
+class Poly:
+    """An element of the free semiring: monomial -> positive coefficient.
+
+    Monomials are sorted tuples of generator ids (repetitions = powers).
+    Instances are immutable and hashable so they can live inside other
+    semiring machinery (e.g. as matrix entries).
+    """
+
+    __slots__ = ("terms", "_hash")
+
+    def __init__(self, terms: Mapping[Monomial, int]):
+        self.terms: Dict[Monomial, int] = {
+            mono: coeff for mono, coeff in terms.items() if coeff != 0
+        }
+        self._hash: int | None = None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Poly) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self.terms.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for mono in sorted(self.terms, key=repr):
+            coeff = self.terms[mono]
+            body = "*".join(str(g) for g in mono) if mono else "1"
+            parts.append(body if coeff == 1 else f"{coeff}*{body}")
+        return " + ".join(parts)
+
+    def monomials(self) -> Iterable[Monomial]:
+        """Each monomial repeated per its coefficient (enumeration order)."""
+        for mono in sorted(self.terms, key=repr):
+            for _ in range(self.terms[mono]):
+                yield mono
+
+    def total_terms(self) -> int:
+        """Number of summands counted with multiplicity."""
+        return sum(self.terms.values())
+
+
+class FreeSemiring(Semiring):
+    """``F_A``: sums of unordered sequences of generators (paper §5)."""
+
+    name = "free"
+
+    def __init__(self):
+        self.zero = Poly({})
+        self.one = Poly({(): 1})
+
+    def generator(self, ident: Hashable) -> Poly:
+        """The polynomial consisting of the single generator ``ident``."""
+        return Poly({(ident,): 1})
+
+    def monomial(self, idents: Iterable[Hashable], coeff: int = 1) -> Poly:
+        return Poly({tuple(sorted(idents, key=repr)): coeff})
+
+    def add(self, a: Poly, b: Poly) -> Poly:
+        if not a.terms:
+            return b
+        if not b.terms:
+            return a
+        terms = dict(a.terms)
+        for mono, coeff in b.terms.items():
+            terms[mono] = terms.get(mono, 0) + coeff
+        return Poly(terms)
+
+    def mul(self, a: Poly, b: Poly) -> Poly:
+        if not a.terms or not b.terms:
+            return self.zero
+        terms: Dict[Monomial, int] = {}
+        for mono_a, coeff_a in a.terms.items():
+            for mono_b, coeff_b in b.terms.items():
+                merged = tuple(sorted(mono_a + mono_b, key=repr))
+                terms[merged] = terms.get(merged, 0) + coeff_a * coeff_b
+        return Poly(terms)
+
+    def scale(self, n: int, a: Poly) -> Poly:
+        if n <= 0 or not a.terms:
+            return self.zero
+        return Poly({mono: n * coeff for mono, coeff in a.terms.items()})
+
+    def coerce(self, value: Any) -> Poly:
+        if isinstance(value, Poly):
+            return value
+        if isinstance(value, bool):
+            return self.one if value else self.zero
+        if isinstance(value, int):
+            return self.scale(value, self.one) if value > 0 else self.zero
+        raise TypeError(f"cannot coerce {value!r} into the free semiring")
+
+    def support(self, a: Poly) -> bool:
+        """The canonical homomorphism ``F_A -> B`` (0 -> False, else True)."""
+        return bool(a.terms)
+
+    def evaluate(self, a: Poly, assignment: Mapping[Hashable, Any],
+                 target: Semiring) -> Any:
+        """Apply the universal property: map generators via ``assignment``
+        and evaluate in ``target`` — provenance specialisation (Green et al.).
+        """
+        total = target.zero
+        for mono, coeff in a.terms.items():
+            prod = target.prod(assignment[g] for g in mono)
+            total = target.add(total, target.scale(coeff, prod))
+        return total

@@ -1,0 +1,126 @@
+"""Tropical and lattice semirings: (min,+), (max,+), (min,max).
+
+These are the optimisation semirings of the paper's introduction: evaluating
+the triangle query over ``(N u {+inf}, min, +)`` yields the minimum total
+cost of a directed triangle.  None of them is a ring, and none is finite,
+so they exercise the general-semiring path (Lemma 11, logarithmic updates)
+-- exactly the case Proposition 14 proves cannot be improved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from .base import Semiring
+
+INF = math.inf
+
+
+class MinPlus(Semiring):
+    """``(R u {+inf}, min, +)`` — shortest/cheapest-combination aggregation."""
+
+    name = "min-plus"
+    zero = INF
+    one = 0
+
+    def add(self, a, b):
+        return a if a <= b else b
+
+    def mul(self, a, b):
+        return a + b
+
+    def scale(self, n: int, a):
+        return a if n > 0 else INF
+
+    def coerce(self, value: Any):
+        if isinstance(value, bool):
+            return 0 if value else INF
+        if isinstance(value, int):
+            # n-fold sum of `one`: min(0, 0, ...) = 0 for n >= 1.
+            return 0 if value > 0 else INF
+        return value
+
+
+class MaxPlus(Semiring):
+    """``(R u {-inf}, max, +)`` — the Q_max semiring of the intro's example."""
+
+    name = "max-plus"
+    zero = -INF
+    one = 0
+
+    def add(self, a, b):
+        return a if a >= b else b
+
+    def mul(self, a, b):
+        return a + b
+
+    def scale(self, n: int, a):
+        return a if n > 0 else -INF
+
+    def coerce(self, value: Any):
+        if isinstance(value, bool):
+            return 0 if value else -INF
+        if isinstance(value, int):
+            return 0 if value > 0 else -INF
+        return value
+
+
+class MinMax(Semiring):
+    """``(N u {+inf}, min, max)`` — bottleneck optimisation (paper §2)."""
+
+    name = "min-max"
+    zero = INF
+    one = 0
+
+    def add(self, a, b):
+        return a if a <= b else b
+
+    def mul(self, a, b):
+        return a if a >= b else b
+
+    def scale(self, n: int, a):
+        return a if n > 0 else INF
+
+    def coerce(self, value: Any):
+        if isinstance(value, bool):
+            return 0 if value else INF
+        if isinstance(value, int):
+            return 0 if value > 0 else INF
+        return value
+
+
+class BoundedMinMax(Semiring):
+    """``({0..m} u {inf}, min, max)`` — a *finite* lattice semiring.
+
+    Finite variant of :class:`MinMax`: lets the finite-semiring permanent
+    (Lemma 18) be tested against a non-ring, non-boolean carrier.
+    """
+
+    name = "min-max-m"
+    is_finite = True
+
+    def __init__(self, bound: int):
+        self.bound = bound
+        self.name = f"min-max-{bound}"
+        self.zero = INF
+        self.one = 0
+
+    def add(self, a, b):
+        return a if a <= b else b
+
+    def mul(self, a, b):
+        return a if a >= b else b
+
+    def scale(self, n: int, a):
+        return a if n > 0 else INF
+
+    def elements(self) -> Sequence[Any]:
+        return list(range(self.bound + 1)) + [INF]
+
+    def coerce(self, value: Any):
+        if isinstance(value, bool):
+            return 0 if value else INF
+        if isinstance(value, int):
+            return 0 if value > 0 else INF
+        return value

@@ -1,0 +1,10 @@
+"""Weighted relational structures (system S4)."""
+
+from .forest import LabeledForest
+from .signature import RelationSymbol, Signature, WeightSymbol
+from .structure import Structure, graph_structure
+
+__all__ = [
+    "Signature", "RelationSymbol", "WeightSymbol",
+    "Structure", "graph_structure", "LabeledForest",
+]

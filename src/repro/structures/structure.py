@@ -1,0 +1,141 @@
+"""Weighted relational structures A(w) and their Gaifman graphs (paper §2-3).
+
+A :class:`Structure` stores a finite domain, named relations (sets of
+tuples), and named weight functions (sparse maps ``tuple -> value``; absent
+tuples weigh the semiring zero).  The paper's well-formedness requirement —
+weights of arity > 1 vanish outside the relations — is enforced by
+:meth:`Structure.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..graphs import Graph
+from .signature import Signature
+
+Element = Hashable
+Tup = Tuple[Element, ...]
+
+
+class Structure:
+    """A finite relational structure with semiring-valued weights."""
+
+    def __init__(self, domain: Iterable[Element],
+                 relations: Optional[Mapping[str, Iterable[Tup]]] = None,
+                 weights: Optional[Mapping[str, Mapping[Tup, Any]]] = None):
+        self.domain: List[Element] = list(dict.fromkeys(domain))
+        self._domain_set: Set[Element] = set(self.domain)
+        self.relations: Dict[str, Set[Tup]] = {}
+        self.weights: Dict[str, Dict[Tup, Any]] = {}
+        self._arity: Dict[str, int] = {}
+        self._gaifman: Optional[Graph] = None
+        for name, tuples in (relations or {}).items():
+            for tup in tuples:
+                self.add_tuple(name, tup)
+            self.relations.setdefault(name, set())
+        for name, mapping in (weights or {}).items():
+            for tup, value in mapping.items():
+                self.set_weight(name, tup, value)
+            self.weights.setdefault(name, {})
+
+    # -- construction ---------------------------------------------------------
+
+    def _check_arity(self, name: str, tup: Tup) -> Tup:
+        tup = tuple(tup)
+        for element in tup:
+            if element not in self._domain_set:
+                raise ValueError(f"{element!r} is not in the domain")
+        known = self._arity.get(name)
+        if known is None:
+            self._arity[name] = len(tup)
+        elif known != len(tup):
+            raise ValueError(f"{name} used with arities {known} and {len(tup)}")
+        return tup
+
+    def add_tuple(self, relation: str, tup: Tup) -> None:
+        tup = self._check_arity(relation, tup)
+        self.relations.setdefault(relation, set()).add(tup)
+        self._gaifman = None
+
+    def remove_tuple(self, relation: str, tup: Tup) -> None:
+        self.relations[relation].discard(tuple(tup))
+        self._gaifman = None
+
+    def set_weight(self, weight: str, tup: Tup, value: Any) -> None:
+        tup = self._check_arity(weight, tup)
+        self.weights.setdefault(weight, {})[tup] = value
+        self._gaifman = None
+
+    # -- queries ---------------------------------------------------------------
+
+    def arity(self, name: str) -> int:
+        return self._arity[name]
+
+    def has_tuple(self, relation: str, tup: Tup) -> bool:
+        return tuple(tup) in self.relations.get(relation, ())
+
+    def weight(self, weight: str, tup: Tup, zero: Any = 0) -> Any:
+        """The weight of ``tup`` (the semiring zero when unset)."""
+        return self.weights.get(weight, {}).get(tuple(tup), zero)
+
+    def size(self) -> int:
+        """``|A|`` plus the number of stored tuples — the representation
+        size that 'linear time' refers to for bounded-expansion classes."""
+        return (len(self.domain)
+                + sum(len(t) for t in self.relations.values())
+                + sum(len(w) for w in self.weights.values()))
+
+    # -- the Gaifman graph -------------------------------------------------------
+
+    def gaifman(self) -> Graph:
+        """Distinct elements are adjacent when they co-occur in a relation
+        tuple or carry a nonzero weight together (paper §2, §7)."""
+        if self._gaifman is None:
+            graph = Graph(self.domain)
+            for tuples in self.relations.values():
+                for tup in tuples:
+                    graph.add_clique(set(tup))
+            for mapping in self.weights.values():
+                for tup in mapping:
+                    graph.add_clique(set(tup))
+            self._gaifman = graph
+        return self._gaifman
+
+    def validate(self, is_zero=lambda value: value == 0) -> None:
+        """Enforce the paper's weight-support requirement: a weight of arity
+        r > 1 may be nonzero only on tuples present in some arity-r relation."""
+        for name, mapping in self.weights.items():
+            if self._arity.get(name, 1) <= 1:
+                continue
+            arity = self._arity[name]
+            supports = [tuples for rel, tuples in self.relations.items()
+                        if self._arity[rel] == arity]
+            for tup, value in mapping.items():
+                if is_zero(value):
+                    continue
+                if not any(tup in tuples for tuples in supports):
+                    raise ValueError(
+                        f"weight {name}{tup} is nonzero but {tup} is in no "
+                        f"arity-{arity} relation")
+
+    def copy(self) -> "Structure":
+        return Structure(self.domain,
+                         {r: set(t) for r, t in self.relations.items()},
+                         {w: dict(m) for w, m in self.weights.items()})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rels = ", ".join(f"{r}:{len(t)}" for r, t in self.relations.items())
+        return f"<Structure |A|={len(self.domain)} {rels}>"
+
+
+def graph_structure(graph: Graph, directed: bool = True,
+                    edge_relation: str = "E") -> Structure:
+    """View a graph as a structure with edge relation ``E`` (both
+    orientations when ``directed``, matching the paper's examples)."""
+    structure = Structure(graph.vertices())
+    for u, v in graph.edges():
+        structure.add_tuple(edge_relation, (u, v))
+        if directed:
+            structure.add_tuple(edge_relation, (v, u))
+    return structure

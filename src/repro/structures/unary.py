@@ -1,0 +1,77 @@
+"""Unary-ized structures: the intermediate form after Lemma 37.
+
+After the degeneracy stage, everything is unary: labels (which absorb the
+original relations via patterns ``R_t``), weights (``w_t``), and the
+orientation's out-neighbor functions ``f_1, ..., f_d`` (total via the
+paper's saturation ``f_i(a) = a`` when the i-th out-neighbor is missing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Set
+
+from ..graphs import Graph
+
+Node = Hashable
+
+
+class UnaryStructure:
+    """Domain + unary labels + unary (saturating) functions + unary weights."""
+
+    def __init__(self, domain: Iterable[Node],
+                 labels: Optional[Mapping[Hashable, Iterable[Node]]] = None,
+                 functions: Optional[Mapping[Hashable, Mapping[Node, Node]]] = None,
+                 weights: Optional[Mapping[str, Mapping[Node, Any]]] = None):
+        self.domain: List[Node] = list(dict.fromkeys(domain))
+        self._domain_set: Set[Node] = set(self.domain)
+        self.labels: Dict[Hashable, Set[Node]] = {
+            key: set(nodes) for key, nodes in (labels or {}).items()}
+        self.functions: Dict[Hashable, Dict[Node, Node]] = {
+            name: dict(mapping) for name, mapping in (functions or {}).items()}
+        self.weights: Dict[str, Dict[Node, Any]] = {
+            name: dict(mapping) for name, mapping in (weights or {}).items()}
+
+    def has_label(self, key: Hashable, node: Node) -> bool:
+        return node in self.labels.get(key, ())
+
+    def apply(self, func: Hashable, node: Node) -> Optional[Node]:
+        """``f(node)``, or ``None`` when undefined at ``node``.
+
+        The degeneracy stage stores functions *totally* (the paper's
+        saturation ``f_i(a) = a`` is stored explicitly), so ``None`` only
+        arises after :meth:`restrict` dropped an arc leaving the color
+        class — in which case every atom ``f(x) = y`` is false, as the
+        Lemma 35 decomposition requires.
+        """
+        return self.functions.get(func, {}).get(node)
+
+    def weight(self, name: str, node: Node, zero: Any = 0) -> Any:
+        return self.weights.get(name, {}).get(node, zero)
+
+    def gaifman(self) -> Graph:
+        """Edges are the (symmetrized) non-trivial function arcs."""
+        graph = Graph(self.domain)
+        for mapping in self.functions.values():
+            for source, target in mapping.items():
+                if source != target:
+                    graph.add_edge(source, target)
+        return graph
+
+    def restrict(self, keep: Iterable[Node]) -> "UnaryStructure":
+        """Induced substructure; function arcs leaving ``keep`` are dropped
+        (they become saturating, i.e. the atom is false there), which is
+        exactly what the Lemma 35 color decomposition requires."""
+        keep_set = set(keep)
+        labels = {key: {n for n in nodes if n in keep_set}
+                  for key, nodes in self.labels.items()}
+        functions = {name: {s: t for s, t in mapping.items()
+                            if s in keep_set and t in keep_set}
+                     for name, mapping in self.functions.items()}
+        weights = {name: {n: v for n, v in mapping.items() if n in keep_set}
+                   for name, mapping in self.weights.items()}
+        return UnaryStructure([n for n in self.domain if n in keep_set],
+                              labels, functions, weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<UnaryStructure |A|={len(self.domain)} "
+                f"labels={len(self.labels)} funcs={len(self.functions)}>")

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.graphs import path_graph, triangulated_grid
+
+from tests.util import weighted_graph_structure
+
+
+@pytest.fixture
+def small_grid_structure():
+    return weighted_graph_structure(triangulated_grid(3, 3), seed=2)
+
+
+@pytest.fixture
+def path_structure():
+    return weighted_graph_structure(path_graph(8), seed=1)

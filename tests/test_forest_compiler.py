@@ -1,0 +1,162 @@
+"""Forest compiler (Lemma 29): circuits match naive semantics exactly."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits import DynamicEvaluator, StaticEvaluator, valuation_from_dict
+from repro.core import compile_forest_query
+from repro.logic import (Bracket, Eq, Sum, WConst, Weight, eval_expression,
+                         model_for, neq, normalize)
+from repro.logic.fo import FuncAtom, LabelAtom
+from repro.semirings import BOOLEAN, INTEGER, MIN_PLUS, NATURAL, ModularRing
+from repro.structures import LabeledForest
+
+from tests.util import SEMIRING_CASES, random_labeled_forest
+
+P = lambda x, y: FuncAtom(("parent", 1), x, y)
+R = lambda x: LabelAtom("R", x)
+B = lambda x: LabelAtom("B", x)
+w = lambda x: Weight("w", (x,))
+u = lambda x: Weight("u", (x,))
+
+EXPRESSIONS = {
+    "sum_w": Sum("x", w("x")),
+    "pairs_distinct": Sum(("x", "y"), Bracket(neq("x", "y")) * w("x") * u("y")),
+    "parent_pairs": Sum(("x", "y"), Bracket(P("x", "y")) * w("x") * u("y")),
+    "label_mix": Sum(("x", "y"),
+                     Bracket((R("x") & ~B("y")) | Eq("x", "y"))
+                     * w("x") * u("y")),
+    "grandchildren": Sum(("x", "y", "z"),
+                         Bracket(P("x", "y") & P("y", "z"))
+                         * w("x") * u("y") * w("z")),
+    "neg_parent": Sum(("x", "y"),
+                      Bracket(~P("x", "y") & R("x")) * u("x") * u("y")),
+    "const_plus": Sum("x", w("x")) + WConst(7),
+    "square": Sum("x", w("x") * w("x") * Bracket(R("x"))),
+    "distinct3": Sum(("x", "y", "z"),
+                     Bracket(neq("x", "y") & neq("y", "z") & neq("x", "z"))
+                     * w("x") * u("y") * u("z")),
+    "siblings": Sum(("x", "y", "p"),
+                    Bracket(P("x", "p") & P("y", "p") & neq("x", "y"))
+                    * w("x") * u("y")),
+}
+
+
+def build_and_check(tag, sr, conv, seed, n=12, depth=3):
+    expr = EXPRESSIONS[tag]
+    forest = random_labeled_forest(n, depth, seed, conv=conv)
+    model = model_for(forest, zero=sr.zero)
+    expected = eval_expression(expr, model, sr)
+    circuit = compile_forest_query(forest, normalize(expr))
+    values = {("w", name, (node,)): value
+              for name, mapping in forest.weights.items()
+              for node, value in mapping.items()}
+    got = StaticEvaluator(circuit, sr,
+                          valuation_from_dict(values, sr.zero)).value()
+    assert sr.eq(got, expected), (tag, sr.name, got, expected)
+    return circuit, forest, values
+
+
+@pytest.mark.parametrize("sr,conv",
+                         [(sr, conv) for _, sr, conv in SEMIRING_CASES],
+                         ids=[name for name, _, _ in SEMIRING_CASES])
+@pytest.mark.parametrize("tag", sorted(EXPRESSIONS))
+def test_circuit_matches_naive(tag, sr, conv):
+    for seed in (0, 1):
+        build_and_check(tag, sr, conv, seed)
+
+
+@pytest.mark.parametrize("tag", ["grandchildren", "distinct3", "siblings"])
+def test_dynamic_updates_match_recompute(tag):
+    circuit, forest, values = build_and_check(tag, INTEGER, lambda v: v, 11,
+                                              n=15)
+    dynamic = DynamicEvaluator(circuit, INTEGER,
+                               valuation_from_dict(values, 0))
+    rng = random.Random(5)
+    keys = sorted(values)
+    for _ in range(25):
+        key = rng.choice(keys)
+        value = rng.randint(0, 6)
+        values[key] = value
+        dynamic.update_input(key, value)
+        static = StaticEvaluator(circuit, INTEGER,
+                                 valuation_from_dict(values, 0)).value()
+        assert dynamic.value() == static
+
+
+@pytest.mark.parametrize("strategy", ["recompute", "segment-tree", "ring"])
+def test_dynamic_strategies_agree(strategy):
+    circuit, forest, values = build_and_check("distinct3", INTEGER,
+                                              lambda v: v, 3, n=10)
+    dynamic = DynamicEvaluator(circuit, INTEGER,
+                               valuation_from_dict(values, 0),
+                               strategy=strategy)
+    rng = random.Random(7)
+    keys = sorted(values)
+    for _ in range(10):
+        key = rng.choice(keys)
+        value = rng.randint(0, 5)
+        values[key] = value
+        dynamic.update_input(key, value)
+    static = StaticEvaluator(circuit, INTEGER,
+                             valuation_from_dict(values, 0)).value()
+    assert dynamic.value() == static
+
+
+def test_theorem6_circuit_shape_bounds():
+    """Bounded depth, fan-out and permanent rows; size grows linearly."""
+    sizes = {}
+    for n in (20, 40, 80):
+        expr = EXPRESSIONS["grandchildren"]
+        forest = random_labeled_forest(n, 3, seed=2)
+        circuit = compile_forest_query(forest, normalize(expr))
+        stats = circuit.stats()
+        assert stats["depth"] <= 2 * forest.height() + 3
+        assert stats["max_perm_rows"] <= 3
+        sizes[n] = stats["size"]
+    assert sizes[80] <= 8 * max(sizes[20], 1)
+
+
+def test_multi_row_permanent_gates_appear():
+    """distinct3 on a flat forest needs a genuine 3-row permanent."""
+    parent = {i: None for i in range(6)}
+    forest = LabeledForest(parent, labels={"R": set(range(6))},
+                           weights={"w": {i: i + 1 for i in range(6)},
+                                    "u": {i: 1 for i in range(6)}})
+    circuit = compile_forest_query(forest, normalize(EXPRESSIONS["distinct3"]))
+    assert circuit.stats()["max_perm_rows"] == 3
+    values = {("w", name, (node,)): val
+              for name, mp in forest.weights.items()
+              for node, val in mp.items()}
+    got = StaticEvaluator(circuit, NATURAL,
+                          valuation_from_dict(values, 0)).value()
+    expected = eval_expression(EXPRESSIONS["distinct3"],
+                               model_for(forest, zero=0), NATURAL)
+    assert got == expected
+
+
+def test_empty_forest():
+    circuit = compile_forest_query(LabeledForest({}),
+                                   normalize(EXPRESSIONS["sum_w"]))
+    assert StaticEvaluator(circuit, NATURAL,
+                           valuation_from_dict({}, 0)).value() == 0
+
+
+def test_variable_free_blocks():
+    circuit = compile_forest_query(LabeledForest({}),
+                                   normalize(WConst(4) + WConst(3)))
+    assert StaticEvaluator(circuit, NATURAL,
+                           valuation_from_dict({}, 0)).value() == 7
+
+
+def test_undeclared_weight_prunes_to_zero():
+    parent = {0: None, 1: 0}
+    forest = LabeledForest(parent, weights={"w": {0: 5}})
+    # u undeclared anywhere: the whole block is zero.
+    expr = Sum("x", Weight("u", ("x",)))
+    circuit = compile_forest_query(forest, normalize(expr))
+    assert StaticEvaluator(circuit, NATURAL,
+                           valuation_from_dict({}, 0)).value() == 0

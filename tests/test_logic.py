@@ -1,0 +1,186 @@
+"""Formulas, weighted expressions, normalization, naive evaluation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import triangulated_grid
+from repro.logic import (FALSE, TRUE, And, Atom, Block, Bracket, Eq, Exists,
+                         Not, Or, StructureModel, Sum, Truth, WAdd, WConst,
+                         WMul, WSum, Weight, assign_atoms, atoms_of, conj,
+                         disj, eval_expression, eval_formula, exists, forall,
+                         is_quantifier_free, map_atoms, negate, neq,
+                         normalize, substitute_vars)
+from repro.semirings import BOOLEAN, INTEGER, MIN_PLUS, NATURAL
+from repro.structures import graph_structure
+
+from tests.util import weighted_graph_structure
+
+E = lambda x, y: Atom("E", (x, y))
+w = lambda x, y: Weight("w", (x, y))
+
+
+class TestFormulas:
+    def test_operators_and_free_vars(self):
+        phi = (E("x", "y") & ~Eq("x", "y")) | Atom("R", ("z",))
+        assert phi.free_vars() == {"x", "y", "z"}
+        assert exists(("x", "z"), phi).free_vars() == {"y"}
+
+    def test_constant_folding(self):
+        assert conj() == TRUE
+        assert conj(TRUE, FALSE) == FALSE
+        assert disj(FALSE, E("x", "y")) == E("x", "y")
+        assert negate(negate(E("x", "y"))) == E("x", "y")
+        assert negate(TRUE) == FALSE
+
+    def test_substitution(self):
+        phi = exists("y", E("x", "y") & Eq("x", "z"))
+        renamed = substitute_vars(phi, {"x": "a", "y": "ignored"})
+        assert renamed == exists("y", E("a", "y") & Eq("a", "z"))
+
+    def test_substitution_respects_binding(self):
+        phi = exists("x", E("x", "y"))
+        assert substitute_vars(phi, {"x": "a"}) == phi
+
+    def test_quantifier_free_check(self):
+        assert is_quantifier_free(E("x", "y") & ~Eq("x", "y"))
+        assert not is_quantifier_free(~exists("y", E("x", "y")))
+
+    def test_atoms_of_and_assignment(self):
+        phi = (E("x", "y") & ~Eq("x", "y")) | E("y", "x")
+        atoms = atoms_of(phi)
+        assert set(atoms) == {E("x", "y"), Eq("x", "y"), E("y", "x")}
+        reduced = assign_atoms(phi, {E("x", "y"): True, Eq("x", "y"): False})
+        assert reduced == TRUE
+
+    def test_map_atoms_preserves_negation(self):
+        phi = ~(E("x", "y") & Eq("x", "y"))
+        flipped = map_atoms(phi, lambda a: Truth(True)
+                            if isinstance(a, Eq) else a)
+        assert flipped == negate(conj(E("x", "y"), TRUE))
+
+
+class TestWeightedExpressions:
+    def test_operator_composition(self):
+        expr = Sum(("x", "y"), Bracket(E("x", "y")) * w("x", "y") + WConst(1))
+        assert expr.free_vars() == frozenset()
+        assert isinstance(expr.inner, WAdd)
+
+    def test_lifting_of_plain_values(self):
+        expr = 2 * Weight("u", ("x",)) + 3
+        assert isinstance(expr, WAdd)
+        assert any(isinstance(p, WConst) and p.value == 3
+                   for p in expr.parts)
+
+    def test_formula_lifting_in_products(self):
+        expr = Weight("u", ("x",)) * E("x", "x")
+        assert any(isinstance(p, Bracket) for p in expr.parts)
+
+
+class TestNormalization:
+    def test_rejects_open_expressions(self):
+        with pytest.raises(ValueError):
+            normalize(Weight("u", ("x",)))
+
+    def test_rejects_quantified_brackets(self):
+        with pytest.raises(ValueError):
+            normalize(Sum("x", Bracket(exists("y", E("x", "y")))))
+
+    def test_block_structure_of_triangle_query(self):
+        tri = Sum(("x", "y", "z"),
+                  Bracket(E("x", "y") & E("y", "z") & E("z", "x"))
+                  * w("x", "y") * w("y", "z") * w("z", "x"))
+        blocks = normalize(tri)
+        assert len(blocks) == 1
+        block = blocks[0]
+        assert len(block.vars) == 3
+        assert len(block.weight_factors) == 3
+        assert len(block.brackets) == 1
+
+    def test_distribution_counts_blocks(self):
+        expr = Sum("x", (Weight("u", ("x",)) + Weight("v", ("x",)))
+                   * (Weight("a", ("x",)) + Weight("b", ("x",))))
+        assert len(normalize(expr)) == 4
+
+    def test_nested_sums_flatten(self):
+        expr = Sum("x", Weight("u", ("x",)) * Sum("y", Weight("v", ("y",))))
+        blocks = normalize(expr)
+        assert len(blocks) == 1
+        assert len(blocks[0].vars) == 2
+
+    def test_alpha_renaming_keeps_sums_independent(self):
+        inner = Sum("x", Weight("u", ("x",)))
+        expr = inner * inner  # same bound name used twice
+        blocks = normalize(expr)
+        assert len(blocks) == 1
+        assert len(set(blocks[0].vars)) == 2
+
+    NORMALIZE_SEMANTICS_CASES = [
+        Sum("x", Weight("u", ("x",)) * Sum("y", Weight("v", ("y",)))),
+        Sum("x", Weight("u", ("x",))) * Sum("y", Weight("v", ("y",))),
+        Sum(("x", "y"), (Bracket(E("x", "y")) + Bracket(Eq("x", "y")))
+            * Weight("u", ("x",)) * Weight("v", ("y",))),
+        Sum("x", Weight("u", ("x",))) + WConst(5),
+    ]
+
+    @pytest.mark.parametrize("case", range(len(NORMALIZE_SEMANTICS_CASES)))
+    def test_normalization_preserves_semantics(self, case):
+        """Blocks evaluated naively must sum to the original expression."""
+        expr = self.NORMALIZE_SEMANTICS_CASES[case]
+        structure = graph_structure(triangulated_grid(2, 3))
+        rng = random.Random(case)
+        for name in ("u", "v"):
+            for node in structure.domain:
+                structure.set_weight(name, (node,), rng.randint(0, 4))
+        model = StructureModel(structure, 0)
+        expected = eval_expression(expr, model, NATURAL)
+        total = 0
+        for block in normalize(expr):
+            rebuilt = Sum(block.vars, WMul(
+                tuple(Weight(n, t) for n, t in block.weight_factors)
+                + tuple(WConst(c) for c in block.const_factors)
+                + tuple(Bracket(b) for b in block.brackets))) \
+                if block.vars else WMul(
+                tuple(WConst(c) for c in block.const_factors)
+                + tuple(Bracket(b) for b in block.brackets))
+            total += eval_expression(rebuilt, model, NATURAL)
+        assert total == expected
+
+
+class TestNaiveEvaluation:
+    def test_formula_quantifiers(self):
+        structure = graph_structure(triangulated_grid(2, 2))
+        model = StructureModel(structure)
+        assert eval_formula(exists(("x", "y"), E("x", "y")), model)
+        assert not eval_formula(
+            forall(("x", "y"), E("x", "y")), model)
+        assert eval_formula(
+            forall("x", exists("y", E("x", "y"))), model)
+
+    def test_expression_semantics_counting(self):
+        structure = weighted_graph_structure(triangulated_grid(2, 2))
+        model = StructureModel(structure, 0)
+        count = eval_expression(
+            Sum(("x", "y"), Bracket(E("x", "y"))), model, NATURAL)
+        assert count == len(structure.relations["E"])
+
+    def test_expression_semantics_minplus(self):
+        structure = weighted_graph_structure(triangulated_grid(2, 2), seed=4)
+        model = StructureModel(structure, MIN_PLUS.zero)
+        cheapest = eval_expression(
+            Sum(("x", "y"), Bracket(E("x", "y")) * w("x", "y")),
+            model, MIN_PLUS)
+        assert cheapest == min(structure.weights["w"].values())
+
+    def test_boolean_evaluation_via_brackets(self):
+        structure = graph_structure(triangulated_grid(2, 2))
+        model = StructureModel(structure, BOOLEAN.zero)
+        truth = eval_expression(
+            Sum(("x", "y", "z"),
+                Bracket(E("x", "y") & E("y", "z") & E("z", "x"))),
+            model, BOOLEAN)
+        assert truth is True

@@ -1,0 +1,164 @@
+"""Permanent algebra: static evaluation and all four dynamic maintainers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (STRATEGIES, FiniteMaintainer, RecomputeMaintainer,
+                           RingMaintainer, SegmentTreeMaintainer,
+                           falling_factorial, make_maintainer,
+                           matrix_dimensions, partitions_of, perm_prime,
+                           permanent, permanent_naive,
+                           permanent_via_perm_prime)
+from repro.semirings import (BOOLEAN, INTEGER, MIN_PLUS, NATURAL,
+                             FreeSemiring, ModularRing, SetAlgebra)
+
+FREE = FreeSemiring()
+
+
+def random_matrix(k, n, seed, hi=5):
+    rng = random.Random(seed)
+    return [[rng.randint(0, hi) for _ in range(n)] for _ in range(k)]
+
+
+@given(st.integers(1, 3), st.integers(0, 6), st.integers(0, 10 ** 6))
+@settings(max_examples=60, deadline=None)
+def test_permanent_matches_naive_integers(k, n, seed):
+    matrix = random_matrix(k, n, seed)
+    assert permanent(matrix, INTEGER) == permanent_naive(matrix, INTEGER)
+
+
+@given(st.integers(1, 3), st.integers(1, 6), st.integers(0, 10 ** 6))
+@settings(max_examples=40, deadline=None)
+def test_permanent_matches_naive_minplus(k, n, seed):
+    matrix = random_matrix(k, n, seed, hi=9)
+    assert permanent(matrix, MIN_PLUS) == permanent_naive(matrix, MIN_PLUS)
+
+
+@given(st.integers(1, 3), st.integers(0, 5), st.integers(0, 10 ** 6))
+@settings(max_examples=40, deadline=None)
+def test_lemma10_orderings_decomposition(k, n, seed):
+    """perm(M) equals the sum of perm' over all row orderings (Lemma 10)."""
+    matrix = random_matrix(k, n, seed)
+    assert permanent_via_perm_prime(matrix, INTEGER) == \
+        permanent_naive(matrix, INTEGER)
+
+
+def test_perm_prime_increasing_only():
+    # perm' of [[a, b], [c, d]] with increasing injections: a*d only.
+    assert perm_prime([[2, 3], [5, 7]], INTEGER) == 2 * 7
+
+
+def test_edge_cases():
+    assert permanent([], INTEGER) == 1                 # zero rows
+    assert permanent([[1, 2], [3, 4], [5, 6]], INTEGER) == \
+        permanent_naive([[1, 2], [3, 4], [5, 6]], INTEGER)
+    # more rows than columns: no injection
+    assert permanent([[1], [2]], INTEGER) == 0
+    with pytest.raises(ValueError):
+        matrix_dimensions([[1, 2], [3]])
+
+
+def test_permanent_in_free_semiring():
+    a, b, c, d = (FREE.generator(g) for g in "abcd")
+    matrix = [[a, b], [c, d]]
+    result = permanent(matrix, FREE)
+    expected = FREE.add(FREE.mul(a, d), FREE.mul(b, c))
+    assert result == expected
+
+
+MAINTAINER_CASES = [
+    ("recompute", INTEGER, lambda v: v),
+    ("segment-tree", INTEGER, lambda v: v),
+    ("segment-tree", MIN_PLUS, lambda v: v),
+    ("segment-tree", BOOLEAN, lambda v: v > 2),
+    ("ring", INTEGER, lambda v: v),
+    ("ring", ModularRing(7), lambda v: v % 7),
+    ("finite", BOOLEAN, lambda v: v > 2),
+    ("finite", ModularRing(5), lambda v: v % 5),
+]
+
+
+@pytest.mark.parametrize("strategy,sr,conv", MAINTAINER_CASES,
+                         ids=[f"{s}-{sr.name}" for s, sr, _ in MAINTAINER_CASES])
+@pytest.mark.parametrize("k,n", [(1, 5), (2, 6), (3, 7)])
+def test_maintainer_update_sequences(strategy, sr, conv, k, n):
+    rng = random.Random(k * 100 + n)
+    matrix = [[conv(rng.randint(0, 6)) for _ in range(n)] for _ in range(k)]
+    maintainer = make_maintainer(matrix, sr, strategy=strategy)
+    assert sr.eq(maintainer.value(), permanent(matrix, sr))
+    for _ in range(15):
+        row, col = rng.randrange(k), rng.randrange(n)
+        entry = conv(rng.randint(0, 6))
+        matrix[row][col] = entry
+        maintainer.update(row, col, entry)
+        assert sr.eq(maintainer.value(), permanent(matrix, sr)), strategy
+        assert sr.eq(maintainer.get(row, col), entry)
+
+
+def test_make_maintainer_dispatch():
+    matrix = [[1, 2], [3, 4]]
+    assert isinstance(make_maintainer(matrix, INTEGER), RingMaintainer)
+    assert isinstance(make_maintainer([[True, False]], BOOLEAN),
+                      FiniteMaintainer)
+    assert isinstance(make_maintainer(matrix, MIN_PLUS),
+                      SegmentTreeMaintainer)
+    zmod = ModularRing(3)
+    assert isinstance(make_maintainer([[1, 2]], zmod), RingMaintainer)
+
+
+def test_ring_maintainer_requires_ring():
+    with pytest.raises(TypeError):
+        RingMaintainer([[1]], NATURAL)
+    with pytest.raises(TypeError):
+        FiniteMaintainer([[1]], INTEGER)
+
+
+def test_finite_maintainer_set_algebra():
+    sr = SetAlgebra("xy")
+    elements = list(sr.elements())
+    rng = random.Random(3)
+    matrix = [[rng.choice(elements) for _ in range(5)] for _ in range(2)]
+    maintainer = FiniteMaintainer(matrix, sr)
+    assert maintainer.value() == permanent(matrix, sr)
+    for _ in range(10):
+        row, col = rng.randrange(2), rng.randrange(5)
+        entry = rng.choice(elements)
+        matrix[row][col] = entry
+        maintainer.update(row, col, entry)
+        assert maintainer.value() == permanent(matrix, sr)
+
+
+def test_update_column_helper():
+    matrix = [[1, 2, 3], [4, 5, 6]]
+    maintainer = make_maintainer(matrix, INTEGER)
+    maintainer.update_column(1, [9, 9])
+    matrix[0][1] = matrix[1][1] = 9
+    assert maintainer.value() == permanent(matrix, INTEGER)
+
+
+def test_partitions_and_falling_factorial():
+    assert sorted(len(list(partitions_of(tuple(range(k)))))
+                  for k in range(1, 5)) == [1, 2, 5, 15]  # Bell numbers
+    assert falling_factorial(5, 0) == 1
+    assert falling_factorial(5, 3) == 60
+    assert falling_factorial(2, 3) == 0
+
+
+@given(st.integers(2, 3), st.integers(2, 6), st.integers(0, 10 ** 6))
+@settings(max_examples=30, deadline=None)
+def test_segment_tree_vs_ring_agree(k, n, seed):
+    matrix = random_matrix(k, n, seed)
+    seg = SegmentTreeMaintainer(matrix, INTEGER)
+    ring = RingMaintainer(matrix, INTEGER)
+    assert seg.value() == ring.value()
+    rng = random.Random(seed)
+    for _ in range(5):
+        row, col, entry = rng.randrange(k), rng.randrange(n), rng.randint(0, 9)
+        seg.update(row, col, entry)
+        ring.update(row, col, entry)
+        assert seg.value() == ring.value()

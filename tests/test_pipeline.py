@@ -1,0 +1,224 @@
+"""End-to-end Theorem 6/8 pipeline: correctness against the naive oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import compile_structure_query, forest_from_structure
+from repro.engine import WeightedQueryEngine
+from repro.graphs import (cycle_graph, path_graph, random_tree, star_graph,
+                          triangulated_grid)
+from repro.logic import (Atom, Bracket, Eq, StructureModel, Sum, WConst,
+                         Weight, eval_expression, neq)
+from repro.semirings import (BOOLEAN, INTEGER, MIN_PLUS, NATURAL, RATIONAL,
+                             ModularRing)
+from repro.structures import graph_structure
+
+from tests.util import weighted_graph_structure
+
+E = lambda x, y: Atom("E", (x, y))
+w = lambda x, y: Weight("w", (x, y))
+
+TRIANGLE = Sum(("x", "y", "z"),
+               Bracket(E("x", "y") & E("y", "z") & E("z", "x"))
+               * w("x", "y") * w("y", "z") * w("z", "x"))
+TRIANGLE_COUNT = Sum(("x", "y", "z"),
+                     Bracket(E("x", "y") & E("y", "z") & E("z", "x")))
+PATH2 = Sum(("x", "y", "z"),
+            Bracket(E("x", "y") & E("y", "z") & neq("x", "z"))
+            * w("x", "y") * w("y", "z"))
+EDGE_SUM = Sum(("x", "y"), Bracket(E("x", "y")) * w("x", "y"))
+NON_EDGES = Sum(("x", "y"), Bracket(~E("x", "y") & ~Eq("x", "y")))
+
+GRAPH_CASES = {
+    "tri3x3": triangulated_grid(3, 3),
+    "path8": path_graph(8),
+    "cycle7": cycle_graph(7),
+    "star8": star_graph(8),
+    "tree12": random_tree(12, seed=6),
+}
+
+
+@pytest.mark.parametrize("graph_name", list(GRAPH_CASES))
+@pytest.mark.parametrize("expr_name,expr", [
+    ("triangle", TRIANGLE), ("path2", PATH2), ("edges", EDGE_SUM)])
+def test_weighted_queries_match_naive(graph_name, expr_name, expr):
+    structure = weighted_graph_structure(GRAPH_CASES[graph_name], seed=3)
+    compiled = compile_structure_query(structure, expr)
+    for sr in (NATURAL, INTEGER, MIN_PLUS):
+        expected = eval_expression(expr, StructureModel(structure, sr.zero),
+                                   sr)
+        assert sr.eq(compiled.evaluate(sr), expected), (graph_name,
+                                                        expr_name, sr.name)
+
+
+@pytest.mark.parametrize("graph_name", ["tri3x3", "path8", "star8"])
+def test_counting_and_boolean(graph_name):
+    structure = graph_structure(GRAPH_CASES[graph_name])
+    compiled = compile_structure_query(structure, TRIANGLE_COUNT)
+    expected = eval_expression(TRIANGLE_COUNT,
+                               StructureModel(structure, 0), NATURAL)
+    assert compiled.evaluate(NATURAL) == expected
+    assert compiled.evaluate(BOOLEAN) == (expected > 0)
+
+
+def test_negated_relation_query():
+    structure = graph_structure(path_graph(6))
+    compiled = compile_structure_query(structure, NON_EDGES)
+    expected = eval_expression(NON_EDGES, StructureModel(structure, 0),
+                               NATURAL)
+    assert compiled.evaluate(NATURAL) == expected
+
+
+def test_exactness_for_any_coloring():
+    """Lemma 35's decomposition is exact even for an adversarial coloring."""
+    structure = weighted_graph_structure(triangulated_grid(3, 3), seed=1)
+    rng = random.Random(0)
+    bad_coloring = {v: rng.randrange(3) for v in structure.domain}
+    compiled = compile_structure_query(structure, TRIANGLE,
+                                       coloring=bad_coloring)
+    expected = eval_expression(TRIANGLE, StructureModel(structure, 0),
+                               NATURAL)
+    assert compiled.evaluate(NATURAL) == expected
+
+
+def test_dynamic_weight_updates():
+    structure = weighted_graph_structure(triangulated_grid(3, 3), seed=2)
+    compiled = compile_structure_query(structure, TRIANGLE)
+    dynamic = compiled.dynamic(INTEGER)
+    rng = random.Random(7)
+    edges = sorted(structure.relations["E"])
+    for _ in range(15):
+        edge = rng.choice(edges)
+        value = rng.randint(0, 5)
+        dynamic.update_weight("w", edge, value)
+        expected = eval_expression(TRIANGLE, StructureModel(structure, 0),
+                                   INTEGER)
+        assert dynamic.value() == expected
+
+
+def test_dynamic_updates_reject_undeclared_tuples():
+    structure = weighted_graph_structure(path_graph(5), seed=0)
+    compiled = compile_structure_query(structure, EDGE_SUM)
+    dynamic = compiled.dynamic(INTEGER)
+    with pytest.raises(KeyError):
+        dynamic.update_weight("w", (0, 4), 3)
+
+
+def test_dynamic_relation_updates_value():
+    structure = graph_structure(triangulated_grid(3, 3))
+    for v in structure.domain:
+        structure.add_tuple("S", (v,))
+    expr = Sum(("x", "y"),
+               Bracket(E("x", "y") & Atom("S", ("x",)) & ~Atom("S", ("y",))))
+    compiled = compile_structure_query(structure, expr,
+                                       dynamic_relations=("S",))
+    dynamic = compiled.dynamic(NATURAL)
+    rng = random.Random(3)
+    for _ in range(12):
+        v = rng.choice(structure.domain)
+        dynamic.set_relation("S", (v,), rng.random() < 0.5)
+        expected = eval_expression(expr, StructureModel(structure, 0),
+                                   NATURAL)
+        assert dynamic.value() == expected
+
+
+def test_stats_report_theorem6_quantities(small_grid_structure):
+    compiled = compile_structure_query(small_grid_structure, TRIANGLE)
+    stats = compiled.stats()
+    assert stats["gates"] > 0
+    assert stats["max_perm_rows"] <= 3
+    assert stats["colors"] >= 1 and stats["color_subsets"] >= 1
+    assert stats["depth"] <= 2 * stats["max_forest_height"] + 4
+
+
+def test_forest_from_structure_chain_encoding():
+    structure = weighted_graph_structure(triangulated_grid(3, 3), seed=5)
+    forest = forest_from_structure(structure)
+    # Every stored edge decodes back from its reltup label.
+    count = 0
+    for key, nodes in forest.labels.items():
+        if isinstance(key, tuple) and key[0] == "reltup":
+            _, name, depths = key
+            for node in nodes:
+                tup = tuple(forest.ancestor(node, d) for d in depths)
+                assert structure.has_tuple(name, tup)
+                count += 1
+    assert count == len(structure.relations["E"])
+
+
+def test_unary_relations_and_weights():
+    structure = graph_structure(path_graph(6))
+    rng = random.Random(1)
+    for v in structure.domain:
+        if rng.random() < 0.5:
+            structure.add_tuple("R", (v,))
+        structure.set_weight("u", (v,), rng.randint(0, 3))
+    expr = Sum("x", Bracket(Atom("R", ("x",))) * Weight("u", ("x",)))
+    compiled = compile_structure_query(structure, expr)
+    expected = eval_expression(expr, StructureModel(structure, 0), NATURAL)
+    assert compiled.evaluate(NATURAL) == expected
+
+
+def test_empty_structure():
+    structure = graph_structure(path_graph(0))
+    compiled = compile_structure_query(structure, EDGE_SUM + WConst(2))
+    assert compiled.evaluate(NATURAL) == 2
+
+
+class TestEngine:
+    def test_free_variable_queries(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=4)
+        expr = Sum("y", Bracket(E("x", "y")) * w("x", "y"))
+        engine = WeightedQueryEngine(structure, expr, INTEGER)
+        model = StructureModel(structure, 0)
+        for v in structure.domain[:6]:
+            expected = eval_expression(expr, model, INTEGER, {"x": v})
+            assert engine.query(v) == expected
+
+    def test_query_then_update_then_query(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=4)
+        expr = Sum("y", Bracket(E("x", "y")) * w("x", "y"))
+        engine = WeightedQueryEngine(structure, expr, INTEGER)
+        v = structure.domain[0]
+        before = engine.query(v)
+        edge = next(iter(e for e in structure.relations["E"] if e[0] == v))
+        engine.update_weight("w", edge, structure.weight("w", edge) + 10)
+        assert engine.query(v) == before + 10
+
+    def test_minplus_queries_need_log_strategy(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=9)
+        expr = Sum(("y", "z"),
+                   Bracket(E("x", "y") & E("y", "z") & E("z", "x"))
+                   * w("x", "y") * w("y", "z") * w("z", "x"))
+        engine = WeightedQueryEngine(structure, expr, MIN_PLUS)
+        model = StructureModel(structure, MIN_PLUS.zero)
+        for v in structure.domain[:4]:
+            expected = eval_expression(expr, model, MIN_PLUS, {"x": v})
+            assert MIN_PLUS.eq(engine.query(v), expected)
+
+    def test_two_free_variables(self):
+        structure = weighted_graph_structure(path_graph(6), seed=2)
+        expr = Bracket(E("x", "y")) * w("x", "y")
+        engine = WeightedQueryEngine(structure, expr, INTEGER,
+                                     free_order=("x", "y"))
+        model = StructureModel(structure, 0)
+        for a in structure.domain[:3]:
+            for b in structure.domain[:3]:
+                expected = eval_expression(expr, model, INTEGER,
+                                           {"x": a, "y": b})
+                assert engine.query(a, b) == expected
+
+    def test_closed_value_and_errors(self):
+        structure = weighted_graph_structure(path_graph(4), seed=0)
+        engine = WeightedQueryEngine(structure, EDGE_SUM, NATURAL)
+        assert engine.value() == eval_expression(
+            EDGE_SUM, StructureModel(structure, 0), NATURAL)
+        open_engine = WeightedQueryEngine(
+            structure, Sum("y", Bracket(E("x", "y"))), NATURAL)
+        with pytest.raises(ValueError):
+            open_engine.value()
+        with pytest.raises(ValueError):
+            open_engine.query()

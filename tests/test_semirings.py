@@ -1,0 +1,174 @@
+"""Semiring carriers: axioms, capabilities, lasso arithmetic, provenance."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semirings import (BOOLEAN, FLOAT, INTEGER, MAX_PLUS, MIN_MAX,
+                             MIN_PLUS, NATURAL, RATIONAL, BoundedMinMax,
+                             FreeSemiring, Homomorphism, LassoArithmetic,
+                             ModularRing, Poly, ProductSemiring,
+                             ScalarMultiplier, SetAlgebra, TableSemiring,
+                             check_semiring_axioms,
+                             saturating_counter_semiring)
+
+FREE = FreeSemiring()
+
+AXIOM_CASES = [
+    (BOOLEAN, [False, True]),
+    (NATURAL, [0, 1, 2, 3, 7]),
+    (INTEGER, [-3, -1, 0, 1, 2, 5]),
+    (RATIONAL, [Fraction(0), Fraction(1), Fraction(-2, 3), Fraction(5, 7)]),
+    (MIN_PLUS, [MIN_PLUS.zero, 0, 1, 3, 10]),
+    (MAX_PLUS, [MAX_PLUS.zero, 0, 1, 3, 10]),
+    (MIN_MAX, [MIN_MAX.zero, 0, 1, 3, 10]),
+    (ModularRing(6), list(range(6))),
+    (BoundedMinMax(3), list(BoundedMinMax(3).elements())),
+    (SetAlgebra("abc"), list(SetAlgebra("abc").elements())),
+    (saturating_counter_semiring(4), list(range(5))),
+    (FREE, [FREE.zero, FREE.one, FREE.generator("x"),
+            FREE.add(FREE.generator("x"), FREE.generator("y")),
+            FREE.mul(FREE.generator("x"), FREE.generator("x"))]),
+    (ProductSemiring(INTEGER, BOOLEAN), [(0, False), (1, True), (2, False),
+                                         (-1, True)]),
+]
+
+
+@pytest.mark.parametrize("sr,samples", AXIOM_CASES,
+                         ids=[sr.name for sr, _ in AXIOM_CASES])
+def test_axioms(sr, samples):
+    check_semiring_axioms(sr, samples)
+
+
+@given(st.lists(st.integers(-30, 30), min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_integer_scale_matches_repeated_addition(values):
+    for value in values:
+        for n in range(0, 7):
+            assert INTEGER.scale(n, value) == n * value
+
+
+@given(st.integers(0, 200), st.integers(0, 5))
+@settings(max_examples=60, deadline=None)
+def test_modular_scale(n, a):
+    sr = ModularRing(7)
+    direct = 0
+    for _ in range(n):
+        direct = sr.add(direct, a % 7)
+    assert sr.scale(n, a % 7) == direct
+
+
+def test_capability_flags():
+    assert INTEGER.is_ring and not INTEGER.is_finite
+    assert BOOLEAN.is_finite and not BOOLEAN.is_ring
+    zmod = ModularRing(4)
+    assert zmod.is_ring and zmod.is_finite
+    assert not MIN_PLUS.is_ring and not MIN_PLUS.is_finite
+
+
+def test_coerce_symbolic_constants():
+    assert NATURAL.coerce(True) == 1
+    assert NATURAL.coerce(3) == 3
+    assert BOOLEAN.coerce(2) is True
+    assert MIN_PLUS.coerce(0) == MIN_PLUS.zero
+    assert MIN_PLUS.coerce(2) == 0  # 2-fold sum of one: min(0, 0)
+    assert INTEGER.coerce(-2) == -2
+    with pytest.raises(ValueError):
+        NATURAL.coerce(-1)
+
+
+def test_sum_prod_fold():
+    assert NATURAL.sum([1, 2, 3]) == 6
+    assert NATURAL.prod([2, 3, 4]) == 24
+    assert NATURAL.sum([]) == 0
+    assert NATURAL.prod([]) == 1
+    assert MIN_PLUS.sum([5, 2, 9]) == 2
+    assert MIN_PLUS.prod([5, 2, 9]) == 16
+
+
+class TestLasso:
+    def test_scalar_multiplier_boolean(self):
+        mult = ScalarMultiplier(BOOLEAN, True)
+        assert mult.stem == 0 and mult.cycle == 1
+        for n in range(1, 6):
+            assert mult.times(n) is True
+        assert mult.times(0) is False
+
+    def test_scalar_multiplier_modular(self):
+        sr = ModularRing(6)
+        mult = ScalarMultiplier(sr, 2)
+        # 2, 4, 0, 2, 4, 0 ... cycle of length 3
+        assert mult.cycle == 3
+        for n in range(1, 30):
+            assert mult.times(n) == (2 * n) % 6
+
+    def test_scalar_multiplier_saturating(self):
+        sr = saturating_counter_semiring(5)
+        mult = ScalarMultiplier(sr, 1)
+        assert mult.times(3) == 3
+        assert mult.times(100) == 5
+        assert mult.stem + mult.cycle <= 6
+
+    def test_lasso_arithmetic_cache(self):
+        sr = ModularRing(9)
+        lasso = LassoArithmetic(sr)
+        for a in range(9):
+            for n in (0, 1, 5, 123456789):
+                assert lasso.scale(n, a) == (n * a) % 9
+
+
+class TestProvenance:
+    def test_polynomial_arithmetic(self):
+        x, y = FREE.generator("x"), FREE.generator("y")
+        square = FREE.mul(FREE.add(x, y), FREE.add(x, y))
+        assert square.terms == {("x", "x"): 1, ("x", "y"): 2, ("y", "y"): 1}
+
+    def test_monomials_with_multiplicity(self):
+        x, y = FREE.generator("x"), FREE.generator("y")
+        poly = FREE.add(FREE.mul(x, y), FREE.mul(x, y))
+        assert list(poly.monomials()) == [("x", "y"), ("x", "y")]
+        assert poly.total_terms() == 2
+
+    def test_support_homomorphism(self):
+        x = FREE.generator("x")
+        samples = [FREE.zero, FREE.one, x, FREE.add(x, x)]
+        hom = Homomorphism(FREE, BOOLEAN, FREE.support, name="support")
+        hom.check_on(samples)
+
+    def test_universal_property_evaluation(self):
+        x, y = FREE.generator("x"), FREE.generator("y")
+        poly = FREE.add(FREE.mul(x, y), FREE.mul(x, x))
+        value = FREE.evaluate(poly, {"x": 2, "y": 5}, INTEGER)
+        assert value == 2 * 5 + 2 * 2
+
+    def test_poly_hashable_and_equal(self):
+        x = FREE.generator("x")
+        assert Poly({("x",): 1}) == x
+        assert hash(Poly({("x",): 1})) == hash(x)
+
+
+def test_table_semiring_validates():
+    with pytest.raises(AssertionError):
+        TableSemiring.from_ops([0, 1], add=lambda a, b: a,  # not commutative
+                               mul=lambda a, b: a * b, zero=0, one=1)
+
+
+def test_product_semiring_componentwise():
+    sr = ProductSemiring(INTEGER, BOOLEAN)
+    assert sr.add((2, False), (3, True)) == (5, True)
+    assert sr.mul((2, True), (3, True)) == (6, True)
+    assert not sr.is_ring  # B is not a ring, so neither is the product
+    with pytest.raises(NotImplementedError):
+        sr.neg((2, False))
+    ring_product = ProductSemiring(INTEGER, ModularRing(5))
+    assert ring_product.is_ring
+    assert ring_product.neg((2, 3)) == (-2, 2)
+
+
+def test_float_tolerant_equality():
+    assert FLOAT.eq(0.1 + 0.2, 0.3)
+    assert not FLOAT.eq(1.0, 1.1)

@@ -1,0 +1,195 @@
+"""Shapes (Lemmas 30-32): enumeration, partition property, residuals."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (chain_info, enumerate_shapes, exclusive_assignments,
+                        required_comparable, residual_formula)
+from repro.core.shapes import Shape
+from repro.logic import Block, Eq, LabelAtom, TRUE, FALSE, conj, neq
+from repro.logic.fo import FuncAtom
+
+from tests.util import random_labeled_forest
+
+
+def shape_matches(shape: Shape, forest, assignment) -> bool:
+    """Does a concrete tuple realize this shape in the forest?"""
+    for var, node in assignment.items():
+        if forest.depth[node] != shape.depth_of[var]:
+            return False
+    for x, y in itertools.combinations(shape.variables, 2):
+        a, b = assignment[x], assignment[y]
+        pa, pb = forest.path[a], forest.path[b]
+        meet = -1
+        for depth in range(min(len(pa), len(pb))):
+            if pa[depth] == pb[depth]:
+                meet = depth
+            else:
+                break
+        if meet != shape.meet(x, y):
+            return False
+    return True
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("p", [1, 2, 3])
+def test_shapes_partition_all_tuples(seed, p):
+    """Every variable tuple realizes exactly one shape (Lemma 32's mutual
+    exclusivity) — the cornerstone invariant of the compiler."""
+    forest = random_labeled_forest(9, 3, seed)
+    variables = tuple(f"x{i}" for i in range(p))
+    shapes = list(enumerate_shapes(variables, forest.height() - 1))
+    nodes = forest.nodes()
+    rng = random.Random(seed)
+    samples = [tuple(rng.choice(nodes) for _ in range(p)) for _ in range(40)]
+    for tup in samples:
+        assignment = dict(zip(variables, tup))
+        matching = [s for s in shapes if shape_matches(s, forest, assignment)]
+        assert len(matching) == 1, (tup, len(matching))
+
+
+def test_shape_count_small_cases():
+    # Depth 0, p = 2: both at depth 0; meet either -1 (distinct roots) or
+    # 0 (equal).
+    shapes = list(enumerate_shapes(("x", "y"), 0))
+    assert len(shapes) == 2
+    # p = 1 on depth <= 2: one shape per depth.
+    assert len(list(enumerate_shapes(("x",), 2))) == 3
+
+
+def test_shape_relations():
+    # x at depth 2, y at depth 1 on the same path (meet 1): y above x.
+    [shape] = [s for s in enumerate_shapes(("x", "y"), 2)
+               if s.depth_of["x"] == 2 and s.depth_of["y"] == 1
+               and s.meet("x", "y") == 1]
+    assert shape.relation("x", "y") == ("below", 1)
+    assert shape.relation("y", "x") == ("above", 1)
+    assert not shape.same_node("x", "y")
+    info = chain_info(shape, ("x", "y"))
+    assert info == ((2, 1), "x")
+
+
+def test_incomparable_chain_info_none():
+    [shape] = [s for s in enumerate_shapes(("x", "y"), 1)
+               if s.depth_of["x"] == 1 and s.depth_of["y"] == 1
+               and s.meet("x", "y") == 0]
+    assert shape.relation("x", "y")[0] == "incomparable"
+    assert chain_info(shape, ("x", "y")) is None
+
+
+def test_equal_variables_shape():
+    [shape] = [s for s in enumerate_shapes(("x", "y"), 1)
+               if s.depth_of["x"] == 1 and s.depth_of["y"] == 1
+               and s.meet("x", "y") == 1]
+    assert shape.same_node("x", "y")
+    assert chain_info(shape, ("x", "y")) == ((1, 1), "x")
+
+
+def test_comparable_pruning_forces_meets():
+    comparable = {frozenset(("x", "y"))}
+    shapes = list(enumerate_shapes(("x", "y"), 3,
+                                   comparable_pairs=comparable))
+    for shape in shapes:
+        assert shape.relation("x", "y")[0] != "incomparable"
+    unpruned = [s for s in enumerate_shapes(("x", "y"), 3)
+                if s.relation("x", "y")[0] != "incomparable"]
+    assert len(shapes) == len(unpruned)
+
+
+def test_allowed_depths_restriction():
+    shapes = list(enumerate_shapes(("x", "y"), 4,
+                                   allowed_depths={"x": {0}, "y": {2}}))
+    assert all(s.depth_of["x"] == 0 and s.depth_of["y"] == 2 for s in shapes)
+    assert len(shapes) == 2  # meet in {-1, 0}
+
+
+def test_ultrametric_rejects_invalid_triples():
+    variables = ("x", "y", "z")
+    shapes = list(enumerate_shapes(variables, 2))
+    for shape in shapes:
+        meets = sorted([shape.meet("x", "y"), shape.meet("y", "z"),
+                        shape.meet("x", "z")])
+        assert meets[0] == meets[1]  # minimum attained twice
+
+
+class TestResiduals:
+    def _shape(self, predicate):
+        for shape in enumerate_shapes(("x", "y"), 2):
+            if predicate(shape):
+                return shape
+        raise AssertionError("no such shape")
+
+    def test_equality_residual(self):
+        same = self._shape(lambda s: s.same_node("x", "y"))
+        diff = self._shape(lambda s: not s.same_node("x", "y"))
+        assert residual_formula(Eq("x", "y"), same) == TRUE
+        assert residual_formula(Eq("x", "y"), diff) == FALSE
+
+    def test_parent_atom_residual(self):
+        shape = self._shape(
+            lambda s: s.depth_of["x"] == 1 and s.depth_of["y"] == 0
+            and s.meet("x", "y") == 0)
+        atom = FuncAtom(("parent", 1), "x", "y")
+        assert residual_formula(atom, shape) == TRUE
+        shape2 = self._shape(
+            lambda s: s.depth_of["x"] == 1 and s.depth_of["y"] == 0
+            and s.meet("x", "y") == -1)
+        assert residual_formula(atom, shape2) == FALSE
+
+    def test_relation_atom_becomes_reltup_label(self):
+        from repro.logic.fo import Atom
+        shape = self._shape(
+            lambda s: s.depth_of["x"] == 0 and s.depth_of["y"] == 2
+            and s.meet("x", "y") == 0)
+        residual = residual_formula(Atom("E", ("x", "y")), shape)
+        assert residual == LabelAtom(("reltup", "E", (0, 2)), "y")
+
+    def test_incomparable_relation_is_false(self):
+        from repro.logic.fo import Atom
+        shape = self._shape(
+            lambda s: s.depth_of["x"] == 1 and s.depth_of["y"] == 1
+            and s.meet("x", "y") == 0)
+        assert residual_formula(Atom("E", ("x", "y")), shape) == FALSE
+
+
+class TestExclusiveAssignments:
+    def test_paths_partition_satisfying_set(self):
+        a, b, c = (LabelAtom(k, "x") for k in "abc")
+        formula = (a & ~b) | c
+        paths = exclusive_assignments(formula)
+        # Check exactness and mutual exclusivity by brute force.
+        atoms = [a.label, b.label, c.label]
+        for bits in itertools.product([False, True], repeat=3):
+            valuation = dict(zip([a, b, c], bits))
+            expected = (bits[0] and not bits[1]) or bits[2]
+            covering = [p for p in paths
+                        if all(valuation[atom] == val
+                               for atom, val in p.items())]
+            assert len(covering) == (1 if expected else 0)
+
+    def test_constants(self):
+        assert exclusive_assignments(TRUE) == [{}]
+        assert exclusive_assignments(FALSE) == []
+
+
+def test_required_comparable_from_weights_and_brackets():
+    from repro.logic.fo import Atom
+    block = Block(vars=("x", "y", "z"),
+                  weight_factors=[("w", ("x", "y"))],
+                  brackets=[Atom("E", ("y", "z"))])
+    forced = required_comparable(block)
+    assert frozenset(("x", "y")) in forced
+    assert frozenset(("y", "z")) in forced
+    assert frozenset(("x", "z")) not in forced
+
+
+def test_required_comparable_negation_is_not_forced():
+    from repro.logic.fo import Atom
+    block = Block(vars=("x", "y"), brackets=[~Atom("E", ("x", "y"))])
+    assert required_comparable(block) == set()

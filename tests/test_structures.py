@@ -1,0 +1,141 @@
+"""Structures, signatures, labeled forests, unary structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import path_graph, triangulated_grid
+from repro.structures import (LabeledForest, Signature, Structure,
+                              graph_structure)
+from repro.structures.unary import UnaryStructure
+
+
+class TestSignature:
+    def test_symbols_build_atoms(self):
+        sig = Signature()
+        E = sig.relation("E", 2)
+        w = sig.weight("w", 2)
+        atom = E("x", "y")
+        weight = w("x", "y")
+        assert atom.relation == "E" and weight.name == "w"
+        with pytest.raises(ValueError):
+            E("x")
+        with pytest.raises(ValueError):
+            sig.relation("E", 3)
+        with pytest.raises(ValueError):
+            sig.weight("E", 1)
+
+    def test_build_helper(self):
+        sig = Signature.build(relations=[("E", 2), ("R", 1)],
+                              weights=[("w", 2)])
+        assert sig.relations["E"].arity == 2
+        assert sig.weights["w"].arity == 2
+
+
+class TestStructure:
+    def test_arity_enforcement(self):
+        structure = Structure(range(5))
+        structure.add_tuple("E", (0, 1))
+        with pytest.raises(ValueError):
+            structure.add_tuple("E", (0, 1, 2))
+        with pytest.raises(ValueError):
+            structure.add_tuple("E", (0, 99))
+
+    def test_gaifman_graph_cliques(self):
+        structure = Structure(range(4))
+        structure.add_tuple("T", (0, 1, 2))
+        gaifman = structure.gaifman()
+        assert gaifman.is_clique([0, 1, 2])
+        assert not gaifman.has_edge(0, 3)
+
+    def test_gaifman_includes_weight_support(self):
+        structure = Structure(range(3))
+        structure.set_weight("w", (0, 2), 5)
+        assert structure.gaifman().has_edge(0, 2)
+
+    def test_validate_weight_support(self):
+        structure = Structure(range(3))
+        structure.add_tuple("E", (0, 1))
+        structure.set_weight("w", (0, 1), 3)
+        structure.validate()
+        structure.set_weight("w", (1, 2), 4)
+        with pytest.raises(ValueError):
+            structure.validate()
+
+    def test_graph_structure_directed(self):
+        structure = graph_structure(path_graph(3))
+        assert structure.has_tuple("E", (0, 1))
+        assert structure.has_tuple("E", (1, 0))
+        undirected = graph_structure(path_graph(3), directed=False)
+        assert len(undirected.relations["E"]) == 2
+
+    def test_size_and_copy(self):
+        structure = graph_structure(triangulated_grid(2, 2))
+        clone = structure.copy()
+        clone.add_tuple("R", (clone.domain[0],))
+        assert "R" not in structure.relations
+        assert structure.size() > len(structure.domain)
+
+
+class TestLabeledForest:
+    def build(self):
+        parent = {1: None, 2: 1, 3: 1, 4: 2, 5: 2}
+        return LabeledForest(parent, labels={"R": {2, 4}},
+                             weights={"w": {1: 10, 4: 2}})
+
+    def test_depths_and_paths(self):
+        forest = self.build()
+        assert forest.depth == {1: 0, 2: 1, 3: 1, 4: 2, 5: 2}
+        assert forest.path[4] == [1, 2, 4]
+        assert forest.height() == 3
+
+    def test_ancestors(self):
+        forest = self.build()
+        assert forest.ancestor(4, 0) == 1
+        assert forest.ancestor(4, 5) is None
+        assert forest.ancestor_up(4, 1) == 2
+        assert forest.ancestor_up(4, 9) == 1  # saturates at the root
+
+    def test_labels_and_weights(self):
+        forest = self.build()
+        assert forest.has_label("R", 2) and not forest.has_label("R", 3)
+        forest.set_label("R", 3)
+        assert forest.has_label("R", 3)
+        forest.set_label("R", 3, present=False)
+        assert not forest.has_label("R", 3)
+        assert forest.weight("w", 1) == 10
+        assert forest.weight("w", 5, zero=-1) == -1
+
+    def test_bottom_up_order(self):
+        forest = self.build()
+        order = forest.bottom_up()
+        position = {node: i for i, node in enumerate(order)}
+        for node, par in forest.parent.items():
+            if par is not None:
+                assert position[node] < position[par]
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValueError):
+            LabeledForest({1: 2, 2: 1})
+
+
+class TestUnaryStructure:
+    def test_apply_and_restrict(self):
+        unary = UnaryStructure(
+            range(4), labels={"R": {0, 2}},
+            functions={"f": {0: 1, 1: 1, 2: 3, 3: 3}},
+            weights={"w": {0: 7}})
+        assert unary.apply("f", 0) == 1
+        assert unary.apply("f", 1) == 1   # stored identity (saturating)
+        restricted = unary.restrict([0, 2, 3])
+        assert restricted.apply("f", 0) is None  # arc to dropped node
+        assert restricted.apply("f", 2) == 3
+        assert restricted.has_label("R", 2)
+        assert restricted.weight("w", 0) == 7
+
+    def test_gaifman_skips_identity_arcs(self):
+        unary = UnaryStructure(range(3),
+                               functions={"f": {0: 1, 1: 1, 2: 2}})
+        gaifman = unary.gaifman()
+        assert gaifman.has_edge(0, 1)
+        assert gaifman.degree(2) == 0
