@@ -1,0 +1,109 @@
+"""E-A6: optimizer + batched evaluation vs the seed StaticEvaluator loop.
+
+The seed engine answered an N-valuation workload by running
+:class:`StaticEvaluator` N times over the raw Theorem 6 circuit.  The
+optimized path runs the ``repro.circuits.optimize`` pipeline once and
+then a single :class:`BatchedEvaluator` sweep.  The acceptance target:
+>= 2x on the triangle workload at side >= 20 *including* the one-time
+optimization cost (excluding it, the sweep alone is typically >= 5x).
+
+``REPRO_BENCH_FAST=1`` shrinks the workload for CI smoke runs (the 2x
+assertion only applies at full size, where amortization is realistic).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.circuits import BatchedEvaluator, StaticEvaluator, optimize_circuit
+from repro.core import compile_structure_query
+from repro.semirings import NATURAL
+
+from common import TRIANGLE, report, timed, triangle_workload
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+SIDE = 8 if FAST else 20
+BATCH = 8 if FAST else 64
+ROUNDS = 1 if FAST else 3
+
+
+def best_of(fn, rounds=None):
+    """Best-of-N wall clock (the standard noise shield for a one-shot
+    assertion): returns (last result, min elapsed)."""
+    result, best = None, float("inf")
+    for _ in range(ROUNDS if rounds is None else rounds):
+        result, elapsed = timed(fn)
+        best = min(best, elapsed)
+    return result, best
+
+
+def _workload(side, batch):
+    """Raw compiled triangle query + a batch of weight-override valuations."""
+    structure = triangle_workload(side)
+    compiled = compile_structure_query(structure, TRIANGLE, optimize=False)
+    base = compiled.input_valuation(NATURAL)
+    rng = random.Random(1)
+    edges = sorted(structure.relations["E"])
+    zero = NATURAL.zero
+    valuations = []
+    for _ in range(batch):
+        overlay = dict(base)
+        for edge in rng.sample(edges, min(5, len(edges))):
+            overlay[("w", "w", edge)] = rng.randint(1, 9)
+        valuations.append(lambda key, _o=overlay: _o.get(key, zero))
+    return compiled, valuations
+
+
+def test_optimized_batched_beats_seed_loop(capsys):
+    compiled, valuations = _workload(SIDE, BATCH)
+
+    def seed_loop():
+        return [StaticEvaluator(compiled.circuit, NATURAL, fn).value()
+                for fn in valuations]
+
+    seed_values, seed_time = best_of(seed_loop)
+    optimized_result, opt_time = best_of(
+        lambda: optimize_circuit(compiled.circuit))
+    batch_values, batch_time = best_of(
+        lambda: BatchedEvaluator(optimized_result.circuit, NATURAL,
+                                 valuations).results())
+    assert batch_values == seed_values
+
+    total = opt_time + batch_time
+    speedup = seed_time / total if total else float("inf")
+    sweep_speedup = seed_time / batch_time if batch_time else float("inf")
+    with capsys.disabled():
+        report(f"E-A6: seed StaticEvaluator loop vs optimize+batched "
+               f"(side={SIDE}, batch={BATCH}, seconds)",
+               ["path", "time", "speedup"],
+               [["seed loop", round(seed_time, 4), 1.0],
+                ["optimize (once)", round(opt_time, 4), ""],
+                ["batched sweep", round(batch_time, 4),
+                 round(sweep_speedup, 2)],
+                ["optimize+batched", round(total, 4), round(speedup, 2)]])
+        print(f"gates: {optimized_result.gates_before} -> "
+              f"{optimized_result.gates_after}")
+    if not FAST:
+        assert speedup >= 2.0, (
+            f"optimized+batched path only {speedup:.2f}x faster than the "
+            f"seed StaticEvaluator loop (target: 2x)")
+
+
+@pytest.mark.parametrize("side", [4, 6] if FAST else [6, 10])
+def test_batched_eval(benchmark, side):
+    compiled, valuations = _workload(side, BATCH)
+    optimized = optimize_circuit(compiled.circuit).circuit
+    benchmark(lambda: BatchedEvaluator(optimized, NATURAL,
+                                       valuations).results())
+
+
+@pytest.mark.parametrize("side", [4, 6] if FAST else [6, 10])
+def test_seed_eval_loop(benchmark, side):
+    compiled, valuations = _workload(side, BATCH)
+    benchmark.pedantic(
+        lambda: [StaticEvaluator(compiled.circuit, NATURAL, fn).value()
+                 for fn in valuations],
+        rounds=1, iterations=1)

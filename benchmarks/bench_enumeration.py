@@ -1,11 +1,12 @@
 """E-D1 (Theorem 24): linear preprocessing, constant delay, O(1) updates."""
 
+import os
 import random
 
 import pytest
 
 from repro.enumeration import AnswerEnumerator
-from repro.logic import Atom, neq
+from repro.logic import Atom
 from repro.structures import graph_structure
 from repro.graphs import triangulated_grid
 
@@ -14,8 +15,11 @@ from common import report, timed
 E = lambda x, y: Atom("E", (x, y))
 TRIANGLE_F = E("x", "y") & E("y", "z") & E("z", "x")
 
+#: CI smoke mode (see benchmarks/ci_smoke.py): shrink every workload.
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
 
-@pytest.mark.parametrize("side", [4, 6])
+
+@pytest.mark.parametrize("side", [4] if FAST else [4, 6])
 def test_preprocessing(benchmark, side):
     structure = graph_structure(triangulated_grid(side, side))
     benchmark.pedantic(
@@ -24,7 +28,7 @@ def test_preprocessing(benchmark, side):
         rounds=1, iterations=1)
 
 
-@pytest.mark.parametrize("side", [4, 6, 8])
+@pytest.mark.parametrize("side", [4] if FAST else [4, 6, 8])
 def test_delay_per_answer(benchmark, side):
     structure = graph_structure(triangulated_grid(side, side))
     enumerator = AnswerEnumerator(structure, TRIANGLE_F,
@@ -41,7 +45,7 @@ def test_delay_per_answer(benchmark, side):
 def test_delay_stays_flat_table(capsys):
     """Max/mean delay between outputs must not grow with n (E-D1)."""
     rows = []
-    for side in (4, 6, 8):
+    for side in (4,) if FAST else (4, 6, 8):
         structure = graph_structure(triangulated_grid(side, side))
         enumerator, preprocess = timed(
             AnswerEnumerator, structure, TRIANGLE_F,
@@ -62,7 +66,8 @@ def test_delay_stays_flat_table(capsys):
 
 
 def test_dynamic_update_cost(benchmark):
-    structure = graph_structure(triangulated_grid(6, 6))
+    structure = graph_structure(triangulated_grid(4 if FAST else 6,
+                                                  4 if FAST else 6))
     for v in structure.domain[::2]:
         structure.add_tuple("S", (v,))
     formula = E("x", "y") & Atom("S", ("x",)) & ~Atom("S", ("y",))
@@ -84,7 +89,7 @@ def test_vs_naive_materialization_table(capsys):
     import itertools
     from repro.baselines import StructureModel, eval_formula
     rows = []
-    for side in (3, 4):
+    for side in (3,) if FAST else (3, 4):
         structure = graph_structure(triangulated_grid(side, side))
         model = StructureModel(structure)
 

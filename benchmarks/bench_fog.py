@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.fog import (SAtom, SIverson, divide_into_max_plus, evaluate_fog,
-                       greater_than, guarded, s_exists, s_sum)
+                       guarded, s_sum)
 from repro.semirings import NATURAL
 from repro.structures import graph_structure
 from repro.graphs import triangulated_grid

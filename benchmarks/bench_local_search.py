@@ -3,7 +3,7 @@
 import pytest
 
 from repro.enumeration import AnswerEnumerator
-from repro.logic import Atom, neq
+from repro.logic import Atom
 from repro.structures import graph_structure
 from repro.graphs import triangulated_grid
 

@@ -1,7 +1,6 @@
 """E-EX9 (Example 9): PageRank round — constant-time maintenance."""
 
 import random
-from fractions import Fraction
 
 import pytest
 

@@ -10,7 +10,7 @@ import random
 import pytest
 
 from repro.algebra import make_maintainer, permanent
-from repro.semirings import BOOLEAN, INTEGER, MIN_PLUS, ModularRing
+from repro.semirings import INTEGER, MIN_PLUS, ModularRing
 
 from common import report, timed
 

@@ -1,0 +1,92 @@
+"""CI benchmark smoke runner: every bench, fast mode, one JSON artifact.
+
+Runs each ``benchmarks/bench_*.py`` through pytest with the benchmark
+fixture disabled (functions execute once — a smoke test plus a coarse
+wall-clock sample) and ``REPRO_BENCH_FAST=1`` so size-aware benches
+shrink their workloads.  Per-bench timings and outcomes accumulate into
+a single JSON report (default ``BENCH_ci.json``) which CI uploads as a
+workflow artifact, so the perf trajectory of the repo is recorded per
+commit.
+
+Usage::
+
+    python benchmarks/ci_smoke.py [--output BENCH_ci.json] [--full]
+
+Exits nonzero if any bench fails, so CI surfaces regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+
+
+def run_bench(path: str, env: dict) -> dict:
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", path, "-q", "--benchmark-disable",
+         "--no-header", "-p", "no:cacheprovider"],
+        cwd=REPO, env=env, capture_output=True, text=True)
+    elapsed = time.perf_counter() - start
+    tail = (proc.stdout.strip().splitlines() or [""])[-1]
+    counts = {key: int(num) for num, key in
+              re.findall(r"(\d+) (passed|failed|error|skipped)", tail)}
+    return {
+        "bench": os.path.basename(path),
+        "seconds": round(elapsed, 3),
+        "returncode": proc.returncode,
+        "summary": tail,
+        **counts,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=os.path.join(REPO,
+                                                         "BENCH_ci.json"))
+    parser.add_argument("--full", action="store_true",
+                        help="run full-size workloads (no fast mode)")
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    if not args.full:
+        env["REPRO_BENCH_FAST"] = "1"
+
+    benches = sorted(name for name in os.listdir(HERE)
+                     if name.startswith("bench_") and name.endswith(".py"))
+    results = []
+    for name in benches:
+        result = run_bench(os.path.join(HERE, name), env)
+        status = "ok" if result["returncode"] == 0 else "FAIL"
+        print(f"[{status}] {name}: {result['seconds']}s  "
+              f"({result['summary']})", flush=True)
+        results.append(result)
+
+    report = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "fast_mode": not args.full,
+        "total_seconds": round(sum(r["seconds"] for r in results), 3),
+        "benches": results,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output} ({len(results)} benches, "
+          f"{report['total_seconds']}s total)")
+    return 1 if any(r["returncode"] for r in results) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

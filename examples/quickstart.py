@@ -54,6 +54,19 @@ def main():
     touched = dynamic.update_weight("w", edge, 100)
     print(f"maintained value: {dynamic.value()} ({touched} gates touched)")
 
+    # The circuit above was already optimized (the compile default).
+    # The raw Theorem 6 circuit is bigger; the optimizer pass pipeline
+    # (constant folding, flattening, CSE/DCE) shrinks it value-preservingly.
+    from repro.circuits import describe_optimization, optimize_circuit
+    raw = compile_structure_query(structure, triangle, optimize=False)
+    print("\n" + describe_optimization(optimize_circuit(raw.circuit)))
+
+    # Batched evaluation: N what-if scenarios in one bottom-up sweep.
+    edges = sorted(structure.relations["E"])[:4]
+    scenarios = [{}] + [{("w", "w", e): 0} for e in edges]
+    values = compiled.evaluate_batch(NATURAL, scenarios)
+    print(f"batched what-ifs (drop one edge each): {values}")
+
 
 if __name__ == "__main__":
     main()

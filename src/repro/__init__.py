@@ -21,6 +21,8 @@ Quickstart::
 
 from . import (algebra, baselines, circuits, core, engine, enumeration, fog,
                graphs, logic, qe, semirings, structures)
+from .circuits import (BatchedEvaluator, OptimizeResult, StaticEvaluator,
+                       optimize_circuit)
 from .core import CompiledQuery, DynamicQuery, compile_structure_query
 from .engine import WeightedQueryEngine
 from .enumeration import AnswerEnumerator, ProvenanceEnumerator
@@ -38,6 +40,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "compile_structure_query", "CompiledQuery", "DynamicQuery",
+    "optimize_circuit", "OptimizeResult", "BatchedEvaluator",
+    "StaticEvaluator",
     "WeightedQueryEngine", "AnswerEnumerator", "ProvenanceEnumerator",
     "evaluate_fog", "eliminate_quantifiers",
     "Structure", "graph_structure", "LabeledForest", "Signature",

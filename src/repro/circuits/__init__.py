@@ -1,14 +1,21 @@
 """Circuits with permanent gates (system S6)."""
 
-from .evaluation import (DynamicEvaluator, StaticEvaluator, Valuation,
-                         valuation_from_dict)
+from .evaluation import (BatchedEvaluator, DynamicEvaluator, StaticEvaluator,
+                         Valuation, valuation_from_dict)
 from .gates import (AddGate, Circuit, CircuitBuilder, ConstGate, GateId,
                     InputGate, MulGate, PermGate)
-from .render import render_dot, render_text, summarize
+from .optimize import (DEFAULT_PIPELINE, PASSES, CommonSubexpressionPass,
+                       ConstantFoldPass, FlattenPass, OptimizeResult,
+                       RewritePass, optimize_circuit)
+from .render import describe_optimization, render_dot, render_text, summarize
 
 __all__ = [
     "Circuit", "CircuitBuilder", "InputGate", "ConstGate", "AddGate",
     "MulGate", "PermGate", "GateId",
-    "StaticEvaluator", "DynamicEvaluator", "valuation_from_dict", "Valuation",
-    "render_text", "render_dot", "summarize",
+    "StaticEvaluator", "BatchedEvaluator", "DynamicEvaluator",
+    "valuation_from_dict", "Valuation",
+    "optimize_circuit", "OptimizeResult", "RewritePass",
+    "ConstantFoldPass", "FlattenPass", "CommonSubexpressionPass",
+    "PASSES", "DEFAULT_PIPELINE",
+    "render_text", "render_dot", "summarize", "describe_optimization",
 ]

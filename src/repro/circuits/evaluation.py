@@ -2,6 +2,11 @@
 
 * :class:`StaticEvaluator` — one bottom-up pass, O(size) semiring ops
   (permanent gates via the O(2^k n) DP).
+* :class:`BatchedEvaluator` — evaluates one circuit over N valuations in
+  a single bottom-up pass, keeping a list of values per gate.  Gate
+  dispatch, reachability, and child lookups are paid once per gate
+  instead of once per gate per valuation, which is where the per-probe
+  overhead of a Python interpreter actually goes.
 * :class:`DynamicEvaluator` — maintains all gate values under input
   updates.  Permanent gates carry a pluggable
   :class:`~repro.algebra.PermanentMaintainer`, so one update costs
@@ -54,6 +59,74 @@ class StaticEvaluator:
 
     def value(self) -> Any:
         return self.values[self.circuit.output]
+
+
+class BatchedEvaluator:
+    """Evaluate one circuit over many valuations in a single pass.
+
+    ``valuations`` is a sequence of N :data:`Valuation` callables; gate
+    ``g`` ends up with ``values[g] == [value under valuation 0, ...,
+    value under valuation N-1]``.  The circuit is walked bottom-up once:
+    per gate the kind is dispatched a single time and the inner loop over
+    the batch runs with locally-bound semiring operations.  Amortized
+    over the batch this beats N independent :class:`StaticEvaluator`
+    passes by a large constant factor, and it is the evaluation substrate
+    for ``CompiledQuery.evaluate_batch`` and the engine's batched point
+    queries.
+    """
+
+    def __init__(self, circuit: Circuit, sr: Semiring,
+                 valuations: List[Valuation]):
+        self.circuit = circuit
+        self.sr = sr
+        self.batch_size = len(valuations)
+        #: per-gate value rows, indexed by gate id (dead gates stay None)
+        self.values: List[Optional[List[Any]]] = [None] * len(circuit.gates)
+        values = self.values
+        n = self.batch_size
+        zero, add, mul = sr.zero, sr.add, sr.mul
+        for gate_id in circuit.live_gates():
+            gate = circuit.gates[gate_id]
+            if isinstance(gate, InputGate):
+                key = gate.key
+                row = [valuation(key) for valuation in valuations]
+            elif isinstance(gate, ConstGate):
+                row = [sr.coerce(gate.value)] * n
+            elif isinstance(gate, AddGate):
+                children = [values[c] for c in gate.children]
+                row = list(children[0])
+                for other in children[1:]:
+                    row = [add(a, b) for a, b in zip(row, other)]
+            elif isinstance(gate, MulGate):
+                children = [values[c] for c in gate.children]
+                row = list(children[0])
+                for other in children[1:]:
+                    row = [mul(a, b) for a, b in zip(row, other)]
+            elif isinstance(gate, PermGate):
+                entry_rows = [[None if e is None else values[e]
+                               for e in row] for row in gate.entries]
+                row = [permanent(
+                    [[zero if col is None else col[i] for col in entry_row]
+                     for entry_row in entry_rows], sr)
+                    for i in range(n)]
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown gate {gate!r}")
+            values[gate_id] = row
+
+    def value(self, index: int) -> Any:
+        """The output value under valuation ``index``."""
+        return self.values[self.circuit.output][index]
+
+    def results(self) -> List[Any]:
+        """Output values for the whole batch, in valuation order."""
+        return list(self.values[self.circuit.output])
+
+    def values_of(self, gate_id: GateId) -> List[Any]:
+        """The per-valuation values of an arbitrary live gate."""
+        row = self.values[gate_id]
+        if row is None:
+            raise KeyError(f"gate {gate_id} is not live in this circuit")
+        return list(row)
 
 
 class DynamicEvaluator:

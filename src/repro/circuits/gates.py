@@ -12,7 +12,7 @@ entries in a permanent gate denote the semiring zero (pruned subtrees).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 GateId = int
@@ -188,17 +188,18 @@ class Circuit:
     def stats(self) -> Dict[str, Any]:
         """Size/depth/fan statistics — the quantities Theorem 6 bounds."""
         live = self.live_gates()
-        live_set = set(live)
         depth: Dict[GateId, int] = {}
         fan_out: Dict[GateId, int] = {g: 0 for g in live}
         edges = 0
         kinds: Dict[str, int] = {}
         max_rows = 0
+        max_fan_in = 0
         for gate_id in live:
             gate = self.gates[gate_id]
             kinds[type(gate).__name__] = kinds.get(type(gate).__name__, 0) + 1
             children = self.children_of(gate)
             edges += len(children)
+            max_fan_in = max(max_fan_in, len(children))
             for child in children:
                 fan_out[child] += 1
             depth[gate_id] = 1 + max((depth[c] for c in children), default=0)
@@ -206,9 +207,12 @@ class Circuit:
                 max_rows = max(max_rows, gate.rows)
         return {
             "gates": len(live),
+            "stored_gates": len(self.gates),
+            "dead_gates": len(self.gates) - len(live),
             "edges": edges,
             "size": len(live) + edges,
             "depth": depth.get(self.output, 0),
+            "max_fan_in": max_fan_in,
             "max_fan_out": max(fan_out.values(), default=0),
             "max_perm_rows": max_rows,
             "kinds": kinds,

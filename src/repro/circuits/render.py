@@ -7,7 +7,7 @@ half the point of the circuit framework.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from .gates import (AddGate, Circuit, ConstGate, GateId, InputGate, MulGate,
                     PermGate)
@@ -70,10 +70,39 @@ def render_dot(circuit: Circuit) -> str:
 
 
 def summarize(circuit: Circuit) -> str:
-    """One-paragraph summary of the Theorem 6 parameters."""
+    """One-paragraph summary of the Theorem 6 parameters.
+
+    Counts are over *live* gates only, so the summary stays accurate for
+    optimized circuits; when the gate array stores additional dead gates
+    (builder spares, pre-compaction circuits) they are reported
+    separately rather than inflating the headline number.
+    """
     stats = circuit.stats()
     kinds = ", ".join(f"{count} {name}" for name, count in
                       sorted(stats["kinds"].items()))
-    return (f"circuit: {stats['gates']} gates / {stats['edges']} edges "
-            f"(depth {stats['depth']}, fan-out <= {stats['max_fan_out']}, "
+    dead = stats["dead_gates"]
+    dead_note = f" (+{dead} dead)" if dead else ""
+    return (f"circuit: {stats['gates']} gates{dead_note} / "
+            f"{stats['edges']} edges "
+            f"(depth {stats['depth']}, fan-in <= {stats['max_fan_in']}, "
+            f"fan-out <= {stats['max_fan_out']}, "
             f"permanent rows <= {stats['max_perm_rows']}); {kinds}")
+
+
+def describe_optimization(result) -> str:
+    """Render an :class:`~repro.circuits.OptimizeResult` trace.
+
+    The headline counts are live gates before/after; the bracketed
+    trajectory shows *stored* gate counts after each executed pass (a
+    pass that absorbs children into parents leaves them as dead storage
+    until the closing compaction, so stored counts can lag the live
+    shrinkage).
+    """
+    steps = " -> ".join(f"{name}:{count} stored"
+                        for name, count in result.trace)
+    eliminated = sum(1 for new in result.remap.values() if new is None)
+    skipped = f", skipped {'/'.join(result.skipped)}" if result.skipped \
+        else ""
+    return (f"optimized {result.gates_before} -> {result.gates_after} live "
+            f"gates [{steps}{skipped}]; {eliminated} gates eliminated, "
+            f"{len(result.circuit.inputs)} inputs retained")

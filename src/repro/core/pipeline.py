@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from ..circuits import Circuit, CircuitBuilder, DynamicEvaluator, StaticEvaluator
+from ..circuits import (BatchedEvaluator, Circuit, CircuitBuilder,
+                        DynamicEvaluator, StaticEvaluator, optimize_circuit)
 from ..graphs import low_treedepth_coloring
 from ..logic import Block, normalize
 from ..logic.weighted import WExpr
@@ -56,6 +57,28 @@ class CompiledQuery:
         values = self.input_valuation(sr)
         return StaticEvaluator(self.circuit, sr,
                                lambda key: values.get(key, sr.zero)).value()
+
+    def evaluate_batch(self, sr: Semiring, valuations: Sequence[Any]
+                       ) -> List[Any]:
+        """Evaluate the circuit under N valuations in one bottom-up pass.
+
+        Each element of ``valuations`` is either a mapping of input keys
+        to carrier values — interpreted as *overrides* of the structure's
+        recorded weights, so ``{}`` reproduces :meth:`evaluate` — or a
+        callable ``key -> value`` used as-is.  Returns one output value
+        per valuation, in order.
+        """
+        base = self.input_valuation(sr)
+        zero = sr.zero
+        fns = []
+        for valuation in valuations:
+            if callable(valuation):
+                fns.append(valuation)
+            else:
+                overlay = dict(base)
+                overlay.update(valuation)
+                fns.append(lambda key, _o=overlay: _o.get(key, zero))
+        return BatchedEvaluator(self.circuit, sr, fns).results()
 
     def dynamic(self, sr: Semiring, strategy: Optional[str] = None,
                 on_change=None) -> "DynamicQuery":
@@ -159,10 +182,20 @@ class DynamicQuery:
 
 def compile_structure_query(structure: Structure, expr: WExpr,
                             dynamic_relations: Sequence[str] = (),
-                            coloring: Optional[Dict[Hashable, int]] = None
+                            coloring: Optional[Dict[Hashable, int]] = None,
+                            optimize: bool = True
                             ) -> CompiledQuery:
     """Theorem 6 end-to-end (quantifier-free brackets; see repro.qe for
-    eliminating quantifiers first)."""
+    eliminating quantifiers first).
+
+    ``optimize`` runs the :mod:`repro.circuits.optimize` default pass
+    pipeline (constant folding, fan-in flattening, CSE/DCE) over the
+    compiled circuit before it is handed to the evaluators; the rewrite
+    preserves the circuit's value in every semiring and rebuilds the
+    input-gate table, so updates and enumeration are unaffected.  Pass
+    ``optimize=False`` to keep the raw Theorem 6 circuit (the shape the
+    paper's size bounds are stated for).
+    """
     blocks = normalize(expr)
     width = max((len(b.vars) for b in blocks), default=0)
     dynamic = frozenset(dynamic_relations)
@@ -209,5 +242,7 @@ def compile_structure_query(structure: Structure, expr: WExpr,
                 tops.append(compiler.compile_blocks(refined))
 
     circuit = builder.build(builder.add(tops))
+    if optimize:
+        circuit = optimize_circuit(circuit).circuit
     return CompiledQuery(circuit, structure, blocks, color_of, forests,
                          structure.gaifman(), recorded, dynamic)

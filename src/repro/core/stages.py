@@ -27,10 +27,10 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..graphs import Graph, Orientation
 from ..logic import Block
-from ..logic.fo import (Atom, Eq, Formula, FuncAtom, LabelAtom, conj, disj,
+from ..logic.fo import (Atom, Formula, FuncAtom, LabelAtom, conj, disj,
                         map_atoms)
-from ..logic.weighted import (Bracket, Sum, WAdd, WConst, WExpr, Weight,
-                              WMul, WSum)
+from ..logic.weighted import (Bracket, WAdd, WConst, WExpr, Weight, WMul,
+                              WSum)
 from ..structures import LabeledForest, Structure
 from ..structures.unary import UnaryStructure
 

@@ -35,7 +35,8 @@ class WeightedQueryEngine:
     def __init__(self, structure: Structure, expr: WExpr, sr: Semiring,
                  dynamic_relations: Sequence[str] = (),
                  free_order: Optional[Sequence[str]] = None,
-                 strategy: Optional[str] = None):
+                 strategy: Optional[str] = None,
+                 optimize: bool = True):
         self.sr = sr
         self.free: Tuple[str, ...] = tuple(
             free_order if free_order is not None else sorted(expr.free_vars()))
@@ -58,7 +59,8 @@ class WeightedQueryEngine:
         else:
             closed = expr
         self.compiled: CompiledQuery = compile_structure_query(
-            structure, closed, dynamic_relations=dynamic_relations)
+            structure, closed, dynamic_relations=dynamic_relations,
+            optimize=optimize)
         self.dynamic: DynamicQuery = self.compiled.dynamic(
             sr, strategy=strategy)
 
@@ -85,6 +87,37 @@ class WeightedQueryEngine:
         for name, element in zip(self.selectors, arguments):
             self.dynamic.update_weight(name, (element,), zero)
         return value
+
+    def query_batch(self, argument_tuples: Sequence[Sequence[Hashable]]
+                    ) -> list:
+        """``[f(a) for a in argument_tuples]`` in one batched circuit pass.
+
+        Each argument tuple is turned into a valuation that sets its
+        selector weights to ``1`` (everything else keeps the engine's
+        current weights), and the whole batch is evaluated by a single
+        :class:`~repro.circuits.BatchedEvaluator` sweep — the point-query
+        protocol of Theorem 8, amortized over N probes.  The engine's
+        dynamic state is not disturbed.
+        """
+        one = self.sr.one
+        domain = set(self.structure.domain)
+        valuations = []
+        for arguments in argument_tuples:
+            arguments = tuple(arguments)
+            if len(arguments) != len(self.free):
+                raise ValueError(f"expected {len(self.free)} arguments, "
+                                 f"got {arguments!r}")
+            for element in arguments:
+                if element not in domain:
+                    # Match query(): selector weights exist only for
+                    # domain elements, so an unknown element is an error,
+                    # not a silent zero.
+                    raise KeyError(f"{element!r} is not in the structure's "
+                                   f"domain")
+            valuations.append({("w", name, (element,)): one
+                               for name, element in zip(self.selectors,
+                                                        arguments)})
+        return self.compiled.evaluate_batch(self.sr, valuations)
 
     # -- updates ----------------------------------------------------------------
 

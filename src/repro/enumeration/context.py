@@ -18,11 +18,11 @@ bi-directional cursors:
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..circuits import (AddGate, Circuit, ConstGate, GateId, InputGate,
                         MulGate, PermGate)
-from .iterators import (ConcatCursor, Cursor, LinkedSet, ListCursor, Monomial,
+from .iterators import (Cursor, LinkedSet, ListCursor, Monomial,
                         ProductCursor)
 
 

@@ -4,8 +4,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from ..semirings import (BOOLEAN, FLOAT, INTEGER, MAX_PLUS, NATURAL,
-                         RATIONAL, Semiring)
+from ..semirings import BOOLEAN, INTEGER, MAX_PLUS, NATURAL, RATIONAL, Semiring
 from .syntax import Connective
 
 

@@ -18,17 +18,17 @@ theorem.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..engine import WeightedQueryEngine
-from ..logic.fo import (FALSE, TRUE, Atom, Eq, Formula, Truth, conj, disj,
-                        exists, is_quantifier_free, negate)
-from ..logic.weighted import (Bracket, Sum, WAdd, WConst, WExpr, Weight,
-                              WMul, WSum)
+from ..logic.fo import (Atom, Eq, Formula, Truth, conj, disj, exists,
+                        is_quantifier_free, negate)
+from ..logic.weighted import (Bracket, WAdd, WConst, WExpr, Weight, WMul,
+                              WSum)
 from ..semirings import BOOLEAN, Semiring
 from ..structures import Structure
-from .syntax import (Connective, FogExpr, SAdd, SAtom, SConst, SEq, SGuarded,
-                     SIverson, SMul, SNot, SSum, STruth)
+from .syntax import (FogExpr, SAdd, SAtom, SConst, SEq, SGuarded, SIverson,
+                     SMul, SNot, SSum, STruth)
 
 _FRESH = itertools.count()
 

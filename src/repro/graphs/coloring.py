@@ -16,7 +16,7 @@ module is a performance device, independently validated in tests via the
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Tuple
+from typing import Dict, List
 
 from .graph import Graph, Vertex
 from .orientation import Orientation, degeneracy_ordering

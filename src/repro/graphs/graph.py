@@ -6,7 +6,7 @@ all sparsity algorithms (degeneracy, treedepth, colorings) consume it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
 
 Vertex = Hashable
 Edge = Tuple[Vertex, Vertex]

@@ -11,7 +11,7 @@ of linear-time clique enumeration.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Hashable, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from .graph import Graph, Vertex
 

@@ -15,7 +15,7 @@ A model exposes ``domain``, ``atom(atom, env) -> bool`` and
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..structures import LabeledForest, Structure
 from ..structures.unary import UnaryStructure

@@ -21,10 +21,10 @@ Dvořák–Král–Thomas [7].  This module provides the documented substitute:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from ..logic.fo import (And, Atom, Eq, Exists, Forall, Formula, LabelAtom,
-                        Not, Or, Truth, conj, disj, exists, forall,
+                        Not, Or, Truth, conj, disj, exists,
                         is_quantifier_free, negate)
 from ..logic.naive import StructureModel, eval_formula
 from ..logic.weighted import Bracket, Sum

@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..graphs import Graph
-from .signature import Signature
 
 Element = Hashable
 Tup = Tuple[Element, ...]

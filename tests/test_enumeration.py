@@ -16,9 +16,9 @@ from repro.enumeration import (AnswerEnumerator, ConcatCursor,
                                ProductCursor, ProvenanceEnumerator,
                                PermSupport)
 from repro.graphs import path_graph, star_graph, triangulated_grid
-from repro.logic import (Atom, Bracket, Eq, StructureModel, Sum, Weight,
-                         eval_formula, exists, neq)
-from repro.semirings import FreeSemiring, NATURAL
+from repro.logic import (Atom, Eq, StructureModel, Sum, Weight, eval_formula,
+                         exists, neq)
+from repro.semirings import FreeSemiring
 from repro.structures import Structure, graph_structure
 
 E = lambda x, y: Atom("E", (x, y))

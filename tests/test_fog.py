@@ -6,11 +6,10 @@ import random
 
 import pytest
 
-from repro.fog import (SAtom, SConst, SEq, SGuarded, SIverson, SMul, SNot,
-                       SSum, STruth, divide, divide_into_max_plus,
-                       eval_fog_naive, evaluate_fog, greater_than, guarded,
-                       less_than, modulo_test, s_exists, s_sum, to_formula,
-                       to_wexpr)
+from repro.fog import (SAtom, SConst, SEq, SIverson, SMul, SNot,
+                       divide, divide_into_max_plus, eval_fog_naive,
+                       evaluate_fog, greater_than, guarded, less_than,
+                       modulo_test, s_exists, s_sum, to_formula, to_wexpr)
 from repro.graphs import path_graph, star_graph, triangulated_grid
 from repro.semirings import (BOOLEAN, INTEGER, MAX_PLUS, NATURAL, RATIONAL)
 from repro.structures import graph_structure

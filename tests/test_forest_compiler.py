@@ -11,7 +11,7 @@ from repro.core import compile_forest_query
 from repro.logic import (Bracket, Eq, Sum, WConst, Weight, eval_expression,
                          model_for, neq, normalize)
 from repro.logic.fo import FuncAtom, LabelAtom
-from repro.semirings import BOOLEAN, INTEGER, MIN_PLUS, NATURAL, ModularRing
+from repro.semirings import INTEGER, NATURAL
 from repro.structures import LabeledForest
 
 from tests.util import SEMIRING_CASES, random_labeled_forest

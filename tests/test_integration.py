@@ -9,7 +9,6 @@ end evidence.
 
 from __future__ import annotations
 
-import itertools
 import random
 
 import pytest
@@ -20,7 +19,7 @@ from repro.enumeration import AnswerEnumerator
 from repro.graphs import enumerate_cliques, sparse_binomial, triangulated_grid
 from repro.logic import (Atom, Bracket, Eq, StructureModel, Sum, Weight,
                          eval_expression, eval_formula, neq)
-from repro.semirings import BOOLEAN, INTEGER, MIN_PLUS, NATURAL, ModularRing
+from repro.semirings import INTEGER, MIN_PLUS, NATURAL, ModularRing
 from repro.structures import Structure, graph_structure
 
 

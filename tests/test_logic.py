@@ -5,17 +5,14 @@ from __future__ import annotations
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
-
 from repro.graphs import triangulated_grid
-from repro.logic import (FALSE, TRUE, And, Atom, Block, Bracket, Eq, Exists,
-                         Not, Or, StructureModel, Sum, Truth, WAdd, WConst,
-                         WMul, WSum, Weight, assign_atoms, atoms_of, conj,
-                         disj, eval_expression, eval_formula, exists, forall,
-                         is_quantifier_free, map_atoms, negate, neq,
+from repro.logic import (FALSE, TRUE, Atom, Bracket, Eq,
+                         StructureModel, Sum, Truth, WAdd, WConst, WMul,
+                         Weight, assign_atoms, atoms_of, conj, disj,
+                         eval_expression, eval_formula, exists, forall,
+                         is_quantifier_free, map_atoms, negate,
                          normalize, substitute_vars)
-from repro.semirings import BOOLEAN, INTEGER, MIN_PLUS, NATURAL
+from repro.semirings import BOOLEAN, MIN_PLUS, NATURAL
 from repro.structures import graph_structure
 
 from tests.util import weighted_graph_structure

@@ -8,11 +8,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algebra import (STRATEGIES, FiniteMaintainer, RecomputeMaintainer,
-                           RingMaintainer, SegmentTreeMaintainer,
-                           falling_factorial, make_maintainer,
-                           matrix_dimensions, partitions_of, perm_prime,
-                           permanent, permanent_naive,
+from repro.algebra import (FiniteMaintainer, RingMaintainer,
+                           SegmentTreeMaintainer, falling_factorial,
+                           make_maintainer, matrix_dimensions, partitions_of,
+                           perm_prime, permanent, permanent_naive,
                            permanent_via_perm_prime)
 from repro.semirings import (BOOLEAN, INTEGER, MIN_PLUS, NATURAL,
                              FreeSemiring, ModularRing, SetAlgebra)

@@ -12,8 +12,7 @@ from repro.graphs import (cycle_graph, path_graph, random_tree, star_graph,
                           triangulated_grid)
 from repro.logic import (Atom, Bracket, Eq, StructureModel, Sum, WConst,
                          Weight, eval_expression, neq)
-from repro.semirings import (BOOLEAN, INTEGER, MIN_PLUS, NATURAL, RATIONAL,
-                             ModularRing)
+from repro.semirings import BOOLEAN, INTEGER, MIN_PLUS, NATURAL
 from repro.structures import graph_structure
 
 from tests.util import weighted_graph_structure
@@ -222,3 +221,67 @@ class TestEngine:
             open_engine.value()
         with pytest.raises(ValueError):
             open_engine.query()
+
+    def test_query_batch_matches_pointwise(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=4)
+        expr = Sum("y", Bracket(E("x", "y")) * w("x", "y"))
+        engine = WeightedQueryEngine(structure, expr, INTEGER)
+        probes = structure.domain[:6]
+        batched = engine.query_batch([(v,) for v in probes])
+        assert batched == [engine.query(v) for v in probes]
+        # A weight update must be visible to subsequent batches.
+        edge = next(iter(structure.relations["E"]))
+        engine.update_weight("w", edge, structure.weight("w", edge) + 10)
+        assert engine.query_batch([(v,) for v in probes]) \
+            == [engine.query(v) for v in probes]
+
+    def test_query_batch_arity_checked(self):
+        structure = weighted_graph_structure(path_graph(4), seed=0)
+        engine = WeightedQueryEngine(
+            structure, Sum("y", Bracket(E("x", "y"))), NATURAL)
+        with pytest.raises(ValueError):
+            engine.query_batch([(structure.domain[0], structure.domain[1])])
+
+
+class TestOptimizedPipeline:
+    @pytest.mark.parametrize("graph_name", ["tri3x3", "cycle7", "tree12"])
+    @pytest.mark.parametrize("expr_name,expr", [
+        ("triangle", TRIANGLE), ("path2", PATH2), ("edges", EDGE_SUM)])
+    def test_optimize_flag_preserves_values(self, graph_name, expr_name,
+                                            expr):
+        structure = weighted_graph_structure(GRAPH_CASES[graph_name], seed=3)
+        raw = compile_structure_query(structure, expr, optimize=False)
+        opt = compile_structure_query(structure, expr, optimize=True)
+        assert opt.stats()["size"] <= raw.stats()["size"]
+        for sr in (NATURAL, INTEGER, MIN_PLUS, BOOLEAN):
+            assert sr.eq(opt.evaluate(sr), raw.evaluate(sr)), \
+                (graph_name, expr_name, sr.name)
+
+    def test_dynamic_updates_on_optimized_circuit(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=7)
+        compiled = compile_structure_query(structure, TRIANGLE,
+                                           optimize=True)
+        dynamic = compiled.dynamic(NATURAL)
+        rng = random.Random(11)
+        edges = sorted(structure.relations["E"])
+        for _ in range(8):
+            edge = rng.choice(edges)
+            dynamic.update_weight("w", edge, rng.randint(0, 9))
+            expected = eval_expression(
+                TRIANGLE, StructureModel(structure, 0), NATURAL)
+            assert dynamic.value() == expected
+
+    def test_evaluate_batch_weight_overrides(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=7)
+        compiled = compile_structure_query(structure, TRIANGLE)
+        edges = sorted(structure.relations["E"])[:4]
+        valuations = [{}] + [{("w", "w", edge): 0} for edge in edges]
+        batched = compiled.evaluate_batch(NATURAL, valuations)
+        assert batched[0] == compiled.evaluate(NATURAL)
+        for edge, value in zip(edges, batched[1:]):
+            old = structure.weight("w", edge)
+            structure.set_weight("w", edge, 0)
+            expected = eval_expression(
+                TRIANGLE, StructureModel(structure, 0), NATURAL)
+            structure.set_weight("w", edge, old)
+            assert value == expected

@@ -8,8 +8,8 @@ import pytest
 
 from repro.enumeration import AnswerEnumerator
 from repro.graphs import path_graph, star_graph, triangulated_grid
-from repro.logic import (Atom, Eq, StructureModel, eval_formula, exists,
-                         forall, is_quantifier_free, neq)
+from repro.logic import (Atom, StructureModel, eval_formula, exists, forall,
+                         is_quantifier_free, neq)
 from repro.qe import eliminate_quantifiers, existential_sentence_value
 from repro.structures import graph_structure
 

@@ -6,13 +6,10 @@ import itertools
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
-
 from repro.core import (chain_info, enumerate_shapes, exclusive_assignments,
                         required_comparable, residual_formula)
 from repro.core.shapes import Shape
-from repro.logic import Block, Eq, LabelAtom, TRUE, FALSE, conj, neq
+from repro.logic import Block, Eq, LabelAtom, TRUE, FALSE
 from repro.logic.fo import FuncAtom
 
 from tests.util import random_labeled_forest

@@ -6,10 +6,8 @@ import random
 
 import pytest
 
-from repro.graphs import (bounded_depth_forest, grid_graph, path_graph,
-                          random_tree, triangulated_grid)
-from repro.semirings import (BOOLEAN, INTEGER, MIN_PLUS, NATURAL, RATIONAL,
-                             ModularRing)
+from repro.graphs import bounded_depth_forest
+from repro.semirings import BOOLEAN, INTEGER, MIN_PLUS, NATURAL, ModularRing
 from repro.structures import LabeledForest, Structure, graph_structure
 
 #: Semirings used in cross-semiring parametrization, with a converter from
