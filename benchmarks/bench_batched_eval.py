@@ -1,4 +1,4 @@
-"""E-A6: optimizer + batched evaluation vs the seed StaticEvaluator loop.
+"""E-A6: batched evaluation backends vs the seed StaticEvaluator loop.
 
 The seed engine answered an N-valuation workload by running
 :class:`StaticEvaluator` N times over the raw Theorem 6 circuit.  The
@@ -7,8 +7,16 @@ then a single :class:`BatchedEvaluator` sweep.  The acceptance target:
 >= 2x on the triangle workload at side >= 20 *including* the one-time
 optimization cost (excluding it, the sweep alone is typically >= 5x).
 
+The *backend axis* compares the two batched substrates on one compiled
+query: ``backend="python"`` (the PR 1 :class:`BatchedEvaluator`) vs
+``backend="numpy"`` (the layered :class:`VectorizedEvaluator`).  Target:
+the numpy backend >= 2x over the python batched sweep on the side-20
+triangle workload in the numeric semiring; the pure-Python fallback
+results are asserted unchanged.
+
 ``REPRO_BENCH_FAST=1`` shrinks the workload for CI smoke runs (the 2x
-assertion only applies at full size, where amortization is realistic).
+assertions only apply at full size, where amortization is realistic);
+``REPRO_BACKEND=python`` disables the numpy axis (the no-numpy CI leg).
 """
 
 from __future__ import annotations
@@ -18,9 +26,10 @@ import random
 
 import pytest
 
-from repro.circuits import BatchedEvaluator, StaticEvaluator, optimize_circuit
+from repro.circuits import (HAVE_NUMPY, BatchedEvaluator, StaticEvaluator,
+                            optimize_circuit)
 from repro.core import compile_structure_query
-from repro.semirings import NATURAL
+from repro.semirings import BOOLEAN, NATURAL
 
 from common import TRIANGLE, report, timed, triangle_workload
 
@@ -28,6 +37,7 @@ FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
 SIDE = 8 if FAST else 20
 BATCH = 8 if FAST else 64
 ROUNDS = 1 if FAST else 3
+NUMPY_OK = HAVE_NUMPY and os.environ.get("REPRO_BACKEND") != "python"
 
 
 def best_of(fn, rounds=None):
@@ -90,6 +100,76 @@ def test_optimized_batched_beats_seed_loop(capsys):
         assert speedup >= 2.0, (
             f"optimized+batched path only {speedup:.2f}x faster than the "
             f"seed StaticEvaluator loop (target: 2x)")
+
+
+def _override_workload(side, batch):
+    """Optimized compiled triangle query + sparse weight-override batch
+    (the mapping form both backends of ``evaluate_batch`` accept)."""
+    structure = triangle_workload(side)
+    compiled = compile_structure_query(structure, TRIANGLE)
+    rng = random.Random(1)
+    edges = sorted(structure.relations["E"])
+    overrides = [{("w", "w", edge): rng.randint(1, 9)
+                  for edge in rng.sample(edges, min(5, len(edges)))}
+                 for _ in range(batch)]
+    return compiled, overrides
+
+
+@pytest.mark.skipif(not NUMPY_OK, reason="numpy unavailable or disabled")
+def test_numpy_backend_beats_python_batched(capsys):
+    compiled, overrides = _override_workload(SIDE, BATCH)
+    python_values, python_time = best_of(
+        lambda: compiled.evaluate_batch(NATURAL, overrides,
+                                        backend="python"))
+    numpy_values, numpy_time = best_of(
+        lambda: compiled.evaluate_batch(NATURAL, overrides,
+                                        backend="numpy"))
+    assert numpy_values == python_values
+    speedup = python_time / numpy_time if numpy_time else float("inf")
+    with capsys.disabled():
+        report(f"E-A6b: batched-sweep backend axis "
+               f"(side={SIDE}, batch={BATCH}, semiring=N, seconds)",
+               ["backend", "time", "speedup"],
+               [["python", round(python_time, 4), 1.0],
+                ["numpy", round(numpy_time, 4), round(speedup, 2)]])
+        print(f"schedule: {compiled.schedule().stats()}")
+    if not FAST:
+        assert speedup >= 2.0, (
+            f"numpy backend only {speedup:.2f}x over the python "
+            f"BatchedEvaluator sweep (target: 2x)")
+
+
+def test_python_fallback_results_unchanged_by_backend_axis():
+    """The backend axis must not perturb the pure-Python path: explicit
+    ``backend="python"`` agrees with a direct BatchedEvaluator run, and
+    ``backend="auto"`` for a kernel-less semiring (boolean) matches its
+    explicit-python result.  Runs on the no-numpy leg too — that is the
+    configuration these assertions exist to protect."""
+    compiled, overrides = _override_workload(8 if FAST else 12, BATCH)
+    base = compiled.input_valuation(NATURAL)
+    zero = NATURAL.zero
+    fns = [lambda key, _o={**base, **ov}: _o.get(key, zero)
+           for ov in overrides]
+    direct = BatchedEvaluator(compiled.circuit, NATURAL, fns).results()
+    assert compiled.evaluate_batch(NATURAL, overrides,
+                                   backend="python") == direct
+    bool_overrides = [{key: value > 0 for key, value in ov.items()}
+                      for ov in overrides]
+    assert compiled.evaluate_batch(BOOLEAN, bool_overrides) \
+        == compiled.evaluate_batch(BOOLEAN, bool_overrides,
+                                   backend="python")
+
+
+BACKENDS = ["python", "numpy"] if NUMPY_OK else ["python"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("side", [4, 6] if FAST else [6, 10])
+def test_backend_sweep(benchmark, side, backend):
+    compiled, overrides = _override_workload(side, BATCH)
+    compiled.evaluate_batch(NATURAL, overrides, backend=backend)  # warm
+    benchmark(lambda: compiled.evaluate_batch(NATURAL, overrides,
+                                              backend=backend))
 
 
 @pytest.mark.parametrize("side", [4, 6] if FAST else [6, 10])

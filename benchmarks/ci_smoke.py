@@ -18,6 +18,7 @@ Exits nonzero if any bench fails, so CI surfaces regressions.
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import os
 import platform
@@ -55,13 +56,26 @@ def main(argv=None) -> int:
                                                          "BENCH_ci.json"))
     parser.add_argument("--full", action="store_true",
                         help="run full-size workloads (no fast mode)")
+    parser.add_argument("--backend", choices=["auto", "python", "numpy"],
+                        default="auto",
+                        help="evaluation backend for backend-aware benches "
+                             "(exported as REPRO_BACKEND; 'auto' uses numpy "
+                             "when importable)")
     args = parser.parse_args(argv)
+
+    have_numpy = importlib.util.find_spec("numpy") is not None
+    if args.backend == "numpy" and not have_numpy:
+        parser.error("--backend numpy requested but numpy is not importable")
+    backend = ("python" if args.backend == "python" or not have_numpy
+               else "numpy")
 
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     if not args.full:
         env["REPRO_BENCH_FAST"] = "1"
+    if args.backend != "auto":
+        env["REPRO_BACKEND"] = args.backend
 
     benches = sorted(name for name in os.listdir(HERE)
                      if name.startswith("bench_") and name.endswith(".py"))
@@ -77,6 +91,8 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "fast_mode": not args.full,
+        "backend": backend,
+        "numpy_available": have_numpy,
         "total_seconds": round(sum(r["seconds"] for r in results), 3),
         "benches": results,
     }

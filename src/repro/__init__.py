@@ -21,8 +21,9 @@ Quickstart::
 
 from . import (algebra, baselines, circuits, core, engine, enumeration, fog,
                graphs, logic, qe, semirings, structures)
-from .circuits import (BatchedEvaluator, OptimizeResult, StaticEvaluator,
-                       optimize_circuit)
+from .circuits import (HAVE_NUMPY, BatchedEvaluator, LayerSchedule,
+                       OptimizeResult, StaticEvaluator, VectorizedEvaluator,
+                       build_schedule, optimize_circuit)
 from .core import CompiledQuery, DynamicQuery, compile_structure_query
 from .engine import WeightedQueryEngine
 from .enumeration import AnswerEnumerator, ProvenanceEnumerator
@@ -41,7 +42,8 @@ __version__ = "1.0.0"
 __all__ = [
     "compile_structure_query", "CompiledQuery", "DynamicQuery",
     "optimize_circuit", "OptimizeResult", "BatchedEvaluator",
-    "StaticEvaluator",
+    "StaticEvaluator", "VectorizedEvaluator", "LayerSchedule",
+    "build_schedule", "HAVE_NUMPY",
     "WeightedQueryEngine", "AnswerEnumerator", "ProvenanceEnumerator",
     "evaluate_fog", "eliminate_quantifiers",
     "Structure", "graph_structure", "LabeledForest", "Signature",

@@ -8,12 +8,18 @@ from .optimize import (DEFAULT_PIPELINE, PASSES, CommonSubexpressionPass,
                        ConstantFoldPass, FlattenPass, OptimizeResult,
                        RewritePass, optimize_circuit)
 from .render import describe_optimization, render_dot, render_text, summarize
+from .schedule import GateGroup, Layer, LayerSchedule, build_schedule
+from .vectorized import (HAVE_NUMPY, ArrayKernel, VectorizedEvaluator,
+                         kernel_for, register_kernel)
 
 __all__ = [
     "Circuit", "CircuitBuilder", "InputGate", "ConstGate", "AddGate",
     "MulGate", "PermGate", "GateId",
     "StaticEvaluator", "BatchedEvaluator", "DynamicEvaluator",
     "valuation_from_dict", "Valuation",
+    "LayerSchedule", "Layer", "GateGroup", "build_schedule",
+    "VectorizedEvaluator", "ArrayKernel", "kernel_for", "register_kernel",
+    "HAVE_NUMPY",
     "optimize_circuit", "OptimizeResult", "RewritePass",
     "ConstantFoldPass", "FlattenPass", "CommonSubexpressionPass",
     "PASSES", "DEFAULT_PIPELINE",

@@ -1,0 +1,264 @@
+"""Vectorized batched evaluation over a layer schedule (NumPy backend).
+
+:class:`VectorizedEvaluator` evaluates one circuit over an N-valuation
+batch layer by layer (see :mod:`repro.circuits.schedule`): all values
+live in one ``(num_gates, N)`` array, and each ``add``/``mul`` group of
+``g`` gates with uniform fan-in ``f`` is evaluated with two NumPy
+operations — a fancy-index gather ``V[children] -> (g, f, N)`` and an
+elementwise reduction over the fan-in axis.  Per-gate Python dispatch,
+the cost that dominates :class:`~repro.circuits.evaluation.BatchedEvaluator`,
+is amortized over whole groups.
+
+A semiring participates through an :class:`ArrayKernel` — a dtype plus
+the two fan-in reductions.  Kernels ship for the numeric carriers
+(``N``/``Z`` and ``Q`` on exact object arrays, floats on ``float64``)
+and the tropical carriers (min-plus, max-plus, min-max on ``float64``);
+semirings without an array carrier (boolean, provenance, finite tables,
+products) report no kernel and callers fall back to the pure-Python
+:class:`~repro.circuits.evaluation.BatchedEvaluator`.
+
+Note the tropical kernels realize the carrier ``R u {inf}`` as
+``float64``: weights outside the 2^53 exact-integer window (or exact
+``Fraction`` weights) are rounded, where the pure-Python backend would
+keep Python's unbounded arithmetic.  Pass ``backend="python"`` (or
+:func:`register_kernel` an object-dtype kernel) when tropical weights
+need exactness beyond ``float64``.  Permanent gates
+have no rectangular reduction and are evaluated per gate with the exact
+semiring permanent, reading operands out of (and writing back into) the
+value array.
+
+NumPy itself is optional: this module imports without it and
+:data:`HAVE_NUMPY` / :func:`kernel_for` let callers pick a backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Type
+
+from ..algebra import permanent
+from ..semirings import (FloatField, IntegerRing, MaxPlus, MinMax, MinPlus,
+                         NaturalSemiring, RationalField, Semiring)
+from .evaluation import Valuation
+from .gates import Circuit, GateId, PermGate
+from .schedule import (KIND_ADD, KIND_MUL, KIND_PERM, LayerSchedule,
+                       build_schedule)
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: True when NumPy importing succeeded and the backend is usable.
+HAVE_NUMPY = _np is not None
+
+
+@dataclass(frozen=True)
+class ArrayKernel:
+    """How one semiring maps onto NumPy arrays.
+
+    ``add_reduce``/``mul_reduce`` fold the semiring ``+``/``*`` over one
+    axis of a stacked array (signature ``(array, axis) -> array``);
+    ``dtype`` is the carrier dtype (``object`` keeps exact Python
+    arithmetic, e.g. unbounded ints and :class:`~fractions.Fraction`).
+    """
+
+    name: str
+    dtype: Any
+    add_reduce: Callable[[Any, int], Any]
+    mul_reduce: Callable[[Any, int], Any]
+
+
+#: Semiring type -> kernel factory (instance -> kernel or None).
+_KERNEL_FACTORIES: Dict[Type[Semiring],
+                        Callable[[Semiring], Optional[ArrayKernel]]] = {}
+
+
+def register_kernel(semiring_type: Type[Semiring],
+                    factory: Callable[[Semiring], Optional[ArrayKernel]]
+                    ) -> None:
+    """Register an array carrier for a semiring type (extension point)."""
+    _KERNEL_FACTORIES[semiring_type] = factory
+
+
+def kernel_for(sr: Semiring) -> Optional[ArrayKernel]:
+    """The array kernel for ``sr``, or ``None`` (no array carrier or no
+    NumPy) — the caller's cue to fall back to the pure-Python backend."""
+    if not HAVE_NUMPY:
+        return None
+    factory = _KERNEL_FACTORIES.get(type(sr))
+    return factory(sr) if factory is not None else None
+
+
+def _register_default_kernels() -> None:
+    if not HAVE_NUMPY:  # pragma: no cover - numpy-less interpreter
+        return
+    exact = dict(dtype=object, add_reduce=_np.add.reduce,
+                 mul_reduce=_np.multiply.reduce)
+    for semiring_type in (NaturalSemiring, IntegerRing, RationalField):
+        register_kernel(
+            semiring_type,
+            lambda sr, _e=exact: ArrayKernel(name=f"{sr.name}-object", **_e))
+    register_kernel(FloatField, lambda sr: ArrayKernel(
+        name="float64", dtype=_np.float64,
+        add_reduce=_np.add.reduce, mul_reduce=_np.multiply.reduce))
+    register_kernel(MinPlus, lambda sr: ArrayKernel(
+        name="min-plus-f64", dtype=_np.float64,
+        add_reduce=_np.minimum.reduce, mul_reduce=_np.add.reduce))
+    register_kernel(MaxPlus, lambda sr: ArrayKernel(
+        name="max-plus-f64", dtype=_np.float64,
+        add_reduce=_np.maximum.reduce, mul_reduce=_np.add.reduce))
+    register_kernel(MinMax, lambda sr: ArrayKernel(
+        name="min-max-f64", dtype=_np.float64,
+        add_reduce=_np.minimum.reduce, mul_reduce=_np.maximum.reduce))
+
+
+_register_default_kernels()
+
+
+def _index_plan(schedule: LayerSchedule) -> Dict[int, Any]:
+    """Per-group NumPy index arrays, memoized on the schedule object.
+
+    Schedules (like circuits) are immutable once built, so the plan is
+    computed once per schedule and reused across evaluations/batches.
+    """
+    plan = getattr(schedule, "_vector_plan", None)
+    if plan is None:
+        plan = {}
+        for layer in schedule.layers:
+            for group in layer.groups:
+                if group.kind in (KIND_ADD, KIND_MUL):
+                    plan[id(group)] = (
+                        _np.array(group.gate_ids, dtype=_np.intp),
+                        _np.array(group.children, dtype=_np.intp))
+        schedule._vector_plan = plan
+    return plan
+
+
+class VectorizedEvaluator:
+    """Evaluate one circuit over N valuations, one layer at a time.
+
+    Mirrors :class:`~repro.circuits.evaluation.BatchedEvaluator`'s
+    interface (``results`` / ``value`` / ``values_of``).  Construct with
+    N valuation callables, or — much faster when the batch is a set of
+    sparse edits of one base valuation — via :meth:`from_overrides`,
+    which broadcasts the base input column once and then applies only
+    the per-valuation overrides.
+    """
+
+    def __init__(self, circuit: Circuit, sr: Semiring,
+                 valuations: Sequence[Valuation],
+                 schedule: Optional[LayerSchedule] = None,
+                 kernel: Optional[ArrayKernel] = None):
+        self._prepare(circuit, sr, len(valuations), schedule, kernel)
+        rows = [[valuation(key) for valuation in valuations]
+                for _, key in self.schedule.input_gates]
+        self._load_inputs(rows)
+        self._run()
+
+    @classmethod
+    def from_overrides(cls, circuit: Circuit, sr: Semiring,
+                       base: Mapping[Any, Any],
+                       overrides: Sequence[Mapping[Any, Any]],
+                       schedule: Optional[LayerSchedule] = None,
+                       kernel: Optional[ArrayKernel] = None
+                       ) -> "VectorizedEvaluator":
+        """Batch = ``base`` valuation + one sparse override mapping per
+        batch element (unknown override keys are ignored, matching the
+        mapping semantics of ``CompiledQuery.evaluate_batch``)."""
+        self = cls.__new__(cls)
+        self._prepare(circuit, sr, len(overrides), schedule, kernel)
+        zero = sr.zero
+        input_gates = self.schedule.input_gates
+        base_column = [base.get(key, zero) for _, key in input_gates]
+        matrix = _np.empty((len(input_gates), self.batch_size),
+                           dtype=self.kernel.dtype)
+        matrix[:, :] = _np.array(base_column,
+                                 dtype=self.kernel.dtype).reshape(-1, 1)
+        slot_of = {key: slot for slot, (_, key) in enumerate(input_gates)}
+        for column, override in enumerate(overrides):
+            for key, value in override.items():
+                slot = slot_of.get(key)
+                if slot is not None:
+                    matrix[slot, column] = value
+        self._values[[gate_id for gate_id, _ in input_gates]] = matrix
+        self._run()
+        return self
+
+    # -- internals -------------------------------------------------------------
+
+    def _prepare(self, circuit: Circuit, sr: Semiring, batch_size: int,
+                 schedule: Optional[LayerSchedule],
+                 kernel: Optional[ArrayKernel]) -> None:
+        if not HAVE_NUMPY:
+            raise RuntimeError("VectorizedEvaluator requires numpy; install "
+                               "the 'numpy' extra or use BatchedEvaluator")
+        if kernel is None:
+            kernel = kernel_for(sr)
+        if kernel is None:
+            raise ValueError(f"semiring {sr.name} has no array kernel; use "
+                             f"BatchedEvaluator (backend='python')")
+        self.circuit = circuit
+        self.sr = sr
+        self.kernel = kernel
+        self.batch_size = batch_size
+        self.schedule = schedule if schedule is not None \
+            else build_schedule(circuit)
+        self._values = _np.empty((len(circuit.gates), batch_size),
+                                 dtype=kernel.dtype)
+
+    def _load_inputs(self, rows: List[List[Any]]) -> None:
+        input_gates = self.schedule.input_gates
+        if input_gates:
+            self._values[[gate_id for gate_id, _ in input_gates]] = \
+                _np.array(rows, dtype=self.kernel.dtype).reshape(
+                    len(input_gates), self.batch_size)
+
+    def _run(self) -> None:
+        sr, values = self.sr, self._values
+        for gate_id, raw in self.schedule.const_gates:
+            values[gate_id] = sr.coerce(raw)
+        plan = _index_plan(self.schedule)
+        for layer in self.schedule.layers:
+            for group in layer.groups:
+                if group.kind == KIND_ADD:
+                    ids, children = plan[id(group)]
+                    values[ids] = self.kernel.add_reduce(values[children],
+                                                         axis=1)
+                elif group.kind == KIND_MUL:
+                    ids, children = plan[id(group)]
+                    values[ids] = self.kernel.mul_reduce(values[children],
+                                                         axis=1)
+                elif group.kind == KIND_PERM:
+                    for gate_id in group.gate_ids:
+                        self._eval_perm(gate_id)
+
+    def _eval_perm(self, gate_id: GateId) -> None:
+        """Permanent gates: exact per-gate evaluation (no rectangular
+        reduction exists), operands read from the value array."""
+        sr, values = self.sr, self._values
+        gate: PermGate = self.circuit.gates[gate_id]
+        zero = sr.zero
+        zeros = [zero] * self.batch_size
+        entry_rows = [[zeros if entry is None else values[entry].tolist()
+                       for entry in row] for row in gate.entries]
+        values[gate_id] = _np.array(
+            [permanent([[column[i] for column in entry_row]
+                        for entry_row in entry_rows], sr)
+             for i in range(self.batch_size)], dtype=self.kernel.dtype)
+
+    # -- results ----------------------------------------------------------------
+
+    def value(self, index: int) -> Any:
+        """The output value under valuation ``index``."""
+        return self._values[self.circuit.output].tolist()[index]
+
+    def results(self) -> List[Any]:
+        """Output values for the whole batch, in valuation order."""
+        return self._values[self.circuit.output].tolist()
+
+    def values_of(self, gate_id: GateId) -> List[Any]:
+        """The per-valuation values of an arbitrary live gate."""
+        if gate_id not in self.schedule.layer_of:
+            raise KeyError(f"gate {gate_id} is not live in this circuit")
+        return self._values[gate_id].tolist()

@@ -19,11 +19,14 @@ relations — the input models of Theorems 8 and 24.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from ..circuits import (BatchedEvaluator, Circuit, CircuitBuilder,
-                        DynamicEvaluator, StaticEvaluator, optimize_circuit)
+from ..circuits import (HAVE_NUMPY, BatchedEvaluator, Circuit, CircuitBuilder,
+                        DynamicEvaluator, LayerSchedule, StaticEvaluator,
+                        VectorizedEvaluator, build_schedule, kernel_for,
+                        optimize_circuit)
 from ..graphs import low_treedepth_coloring
 from ..logic import Block, normalize
 from ..logic.weighted import WExpr
@@ -45,6 +48,17 @@ class CompiledQuery:
     gaifman: object  # cached Gaifman graph (fixed under the update model)
     recorded: Dict[Hashable, Tuple[str, object]]
     dynamic_relations: frozenset
+    #: layered evaluation plan, built once at compile time and memoized
+    #: (circuits are immutable after compilation/optimization, so the
+    #: schedule never goes stale).
+    _schedule: Optional[LayerSchedule] = field(
+        default=None, repr=False, compare=False)
+
+    def schedule(self) -> LayerSchedule:
+        """The circuit's layer schedule, computed once and cached."""
+        if self._schedule is None:
+            self._schedule = build_schedule(self.circuit)
+        return self._schedule
 
     def input_valuation(self, sr: Semiring) -> Dict[Hashable, Any]:
         """Carrier values for every recorded input gate."""
@@ -58,18 +72,65 @@ class CompiledQuery:
         return StaticEvaluator(self.circuit, sr,
                                lambda key: values.get(key, sr.zero)).value()
 
-    def evaluate_batch(self, sr: Semiring, valuations: Sequence[Any]
-                       ) -> List[Any]:
-        """Evaluate the circuit under N valuations in one bottom-up pass.
+    def evaluate_batch(self, sr: Semiring, valuations: Sequence[Any],
+                       backend: str = "auto",
+                       workers: Optional[int] = None) -> List[Any]:
+        """Evaluate the circuit under N valuations in one batched pass.
 
         Each element of ``valuations`` is either a mapping of input keys
         to carrier values — interpreted as *overrides* of the structure's
         recorded weights, so ``{}`` reproduces :meth:`evaluate` — or a
         callable ``key -> value`` used as-is.  Returns one output value
         per valuation, in order.
+
+        ``backend`` selects the evaluation substrate: ``"python"`` is
+        the pure-Python :class:`BatchedEvaluator`; ``"numpy"`` is the
+        layered :class:`VectorizedEvaluator` (raises if NumPy is missing
+        or the semiring has no array kernel); ``"auto"`` (default) uses
+        NumPy when available for the semiring and falls back to Python
+        otherwise.  ``workers`` > 1 shards the batch across a thread
+        pool — chunks evaluate independently over the shared (cached)
+        schedule, so results are identical to the single-threaded path.
+        Note threads only buy wall-clock parallelism for kernels whose
+        reductions release the GIL (the ``float64`` carriers: floats and
+        the tropical family); object-dtype kernels (``N``/``Z``/``Q``)
+        and the pure-Python backend serialize on the GIL.
         """
+        if backend not in ("auto", "python", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}; expected "
+                             f"'auto', 'python' or 'numpy'")
+        valuations = list(valuations)
+        use_numpy = False
+        if backend != "python":
+            if kernel_for(sr) is not None:
+                use_numpy = True
+            elif backend == "numpy":
+                raise RuntimeError(
+                    f"backend='numpy' unavailable: numpy is not installed "
+                    f"or semiring {sr.name} has no array kernel")
+        if workers is not None and workers > 1 and len(valuations) > 1:
+            if use_numpy:
+                self.schedule()  # build once, outside the pool
+            size = -(-len(valuations) // workers)  # ceil division
+            chunks = [valuations[i:i + size]
+                      for i in range(0, len(valuations), size)]
+            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+                parts = list(pool.map(
+                    lambda chunk: self._evaluate_chunk(sr, chunk, use_numpy),
+                    chunks))
+            return [value for part in parts for value in part]
+        return self._evaluate_chunk(sr, valuations, use_numpy)
+
+    def _evaluate_chunk(self, sr: Semiring, valuations: List[Any],
+                        use_numpy: bool) -> List[Any]:
         base = self.input_valuation(sr)
         zero = sr.zero
+        if use_numpy and not any(callable(v) for v in valuations):
+            # Sparse-override fast path: broadcast the base input column
+            # once, then write only the per-valuation edits.
+            return VectorizedEvaluator.from_overrides(
+                self.circuit, sr, base, valuations,
+                schedule=self.schedule()).results()
         fns = []
         for valuation in valuations:
             if callable(valuation):
@@ -78,6 +139,9 @@ class CompiledQuery:
                 overlay = dict(base)
                 overlay.update(valuation)
                 fns.append(lambda key, _o=overlay: _o.get(key, zero))
+        if use_numpy:
+            return VectorizedEvaluator(self.circuit, sr, fns,
+                                       schedule=self.schedule()).results()
         return BatchedEvaluator(self.circuit, sr, fns).results()
 
     def dynamic(self, sr: Semiring, strategy: Optional[str] = None,
@@ -244,5 +308,13 @@ def compile_structure_query(structure: Structure, expr: WExpr,
     circuit = builder.build(builder.add(tops))
     if optimize:
         circuit = optimize_circuit(circuit).circuit
-    return CompiledQuery(circuit, structure, blocks, color_of, forests,
-                         structure.gaifman(), recorded, dynamic)
+    compiled = CompiledQuery(circuit, structure, blocks, color_of, forests,
+                             structure.gaifman(), recorded, dynamic)
+    if HAVE_NUMPY:
+        # Precompute the layered evaluation plan now: the circuit is
+        # immutable from here on, so the schedule is paid once per compile
+        # and every vectorized batched evaluation reuses it.  Numpy-less
+        # installs have no consumer (the python backend walks the circuit
+        # directly), so they keep the lazy schedule() accessor only.
+        compiled.schedule()
+    return compiled

@@ -9,10 +9,18 @@ with fresh *selector* weights ``v_i`` that default to 0, so a point query
 ``f(a)`` is ``2|x|`` weight updates around one read (the proof of
 Theorem 8).  Updates and queries are therefore O(log |A|) in general
 semirings and O(1) in rings and finite semirings.
+
+Engine lifecycle: the constructor installs its selector weights into the
+*caller's* structure, and :meth:`WeightedQueryEngine.close` removes them
+again — use the engine as a context manager (``with WeightedQueryEngine(
+...) as engine:``) so repeated engine construction over one long-lived
+structure cannot grow its weight table without bound.  A closed engine
+rejects further queries and updates.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
 
 from ..core import CompiledQuery, DynamicQuery, compile_structure_query
@@ -22,7 +30,12 @@ from ..structures import Structure
 
 SELECTOR_PREFIX = "_sel"
 
-_ENGINE_COUNTER = [0]
+# Monotone id source for selector-name tags.  itertools.count() increments
+# under a single bytecode-level step, so concurrently constructed engines
+# (e.g. one per worker thread of a multi-core sweep) can never observe the
+# same tag and mint colliding selector names, unlike the read-modify-write
+# race of a mutable counter cell.
+_ENGINE_COUNTER = itertools.count(1)
 
 
 class WeightedQueryEngine:
@@ -44,8 +57,8 @@ class WeightedQueryEngine:
             raise ValueError(f"free_order {self.free} does not match the "
                              f"expression's free variables")
         self.structure = structure
-        _ENGINE_COUNTER[0] += 1
-        tag = _ENGINE_COUNTER[0]
+        self._closed = False
+        tag = next(_ENGINE_COUNTER)
         self.selectors = [f"{SELECTOR_PREFIX}{tag}_{i}"
                           for i in range(len(self.free))]
         if self.free:
@@ -58,11 +71,50 @@ class WeightedQueryEngine:
                                                      self.free))))
         else:
             closed = expr
-        self.compiled: CompiledQuery = compile_structure_query(
-            structure, closed, dynamic_relations=dynamic_relations,
-            optimize=optimize)
-        self.dynamic: DynamicQuery = self.compiled.dynamic(
-            sr, strategy=strategy)
+        try:
+            self.compiled: CompiledQuery = compile_structure_query(
+                structure, closed, dynamic_relations=dynamic_relations,
+                optimize=optimize)
+            self.dynamic: DynamicQuery = self.compiled.dynamic(
+                sr, strategy=strategy)
+        except BaseException:
+            # A failed construction leaves no engine to close(): strip the
+            # selectors installed above so the caller's structure does not
+            # leak weight functions on every failed attempt.
+            self.close()
+            raise
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Strip this engine's selector weights from the host structure.
+
+        The constructor writes ``|free| * |domain|`` selector entries into
+        the shared :class:`Structure`; without ``close()`` every engine
+        constructed over the same structure leaks its selectors into the
+        structure's weight table forever.  Idempotent; after closing, the
+        engine refuses queries and updates.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for name in self.selectors:
+            self.structure.remove_weight(name)
+
+    def __enter__(self) -> "WeightedQueryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("engine is closed (its selector weights were "
+                               "removed from the structure)")
 
     # -- queries ---------------------------------------------------------------
 
@@ -71,34 +123,57 @@ class WeightedQueryEngine:
         if self.free:
             raise ValueError("query(...) must be used: the expression has "
                              f"free variables {self.free}")
+        self._check_open()
         return self.dynamic.value()
 
     def query(self, *arguments) -> Any:
         """``f(a)`` for a tuple ``a`` aligned with ``free_order``."""
+        self._check_open()
         if len(arguments) == 1 and isinstance(arguments[0], dict):
             assignment = arguments[0]
             arguments = tuple(assignment[var] for var in self.free)
         if len(arguments) != len(self.free):
             raise ValueError(f"expected {len(self.free)} arguments")
         one, zero = self.sr.one, self.sr.zero
-        for name, element in zip(self.selectors, arguments):
-            self.dynamic.update_weight(name, (element,), one)
-        value = self.dynamic.value()
-        for name, element in zip(self.selectors, arguments):
-            self.dynamic.update_weight(name, (element,), zero)
-        return value
+        # The selector protocol must be exception-safe: if raising a
+        # selector (or the read) fails partway, the finally block still
+        # zeroes every selector, so a failed probe cannot leave selectors
+        # hot and silently poison all later queries.  The restore loop is
+        # itself per-selector guarded — one failing restore must not skip
+        # the remaining selectors.
+        try:
+            for name, element in zip(self.selectors, arguments):
+                self.dynamic.update_weight(name, (element,), one)
+            return self.dynamic.value()
+        finally:
+            restore_error = None
+            for name, element in zip(self.selectors, arguments):
+                try:
+                    self.dynamic.update_weight(name, (element,), zero)
+                except BaseException as error:  # noqa: BLE001
+                    if restore_error is None:
+                        restore_error = error
+            if restore_error is not None:
+                raise restore_error
 
-    def query_batch(self, argument_tuples: Sequence[Sequence[Hashable]]
-                    ) -> list:
+    def query_batch(self, argument_tuples: Sequence[Sequence[Hashable]],
+                    backend: str = "auto",
+                    workers: Optional[int] = None) -> list:
         """``[f(a) for a in argument_tuples]`` in one batched circuit pass.
 
         Each argument tuple is turned into a valuation that sets its
         selector weights to ``1`` (everything else keeps the engine's
-        current weights), and the whole batch is evaluated by a single
-        :class:`~repro.circuits.BatchedEvaluator` sweep — the point-query
-        protocol of Theorem 8, amortized over N probes.  The engine's
-        dynamic state is not disturbed.
+        current weights), and the whole batch is evaluated in a single
+        batched sweep — the point-query protocol of Theorem 8, amortized
+        over N probes.  The engine's dynamic state is not disturbed.
+
+        ``backend`` and ``workers`` are forwarded to
+        :meth:`CompiledQuery.evaluate_batch`: ``"numpy"`` selects the
+        vectorized layered backend, ``"python"`` the pure-Python one,
+        ``"auto"`` picks the best available for the semiring; ``workers``
+        shards the batch across a thread pool.
         """
+        self._check_open()
         one = self.sr.one
         domain = set(self.structure.domain)
         valuations = []
@@ -117,14 +192,17 @@ class WeightedQueryEngine:
             valuations.append({("w", name, (element,)): one
                                for name, element in zip(self.selectors,
                                                         arguments)})
-        return self.compiled.evaluate_batch(self.sr, valuations)
+        return self.compiled.evaluate_batch(self.sr, valuations,
+                                            backend=backend, workers=workers)
 
     # -- updates ----------------------------------------------------------------
 
     def update_weight(self, name: str, tup: Tuple, value: Any) -> int:
+        self._check_open()
         return self.dynamic.update_weight(name, tup, value)
 
     def set_relation(self, name: str, tup: Tuple, present: bool) -> int:
+        self._check_open()
         return self.dynamic.set_relation(name, tup, present)
 
     def stats(self) -> Dict[str, Any]:

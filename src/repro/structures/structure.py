@@ -66,6 +66,20 @@ class Structure:
         self.weights.setdefault(weight, {})[tup] = value
         self._gaifman = None
 
+    def remove_weight(self, weight: str, tup: Optional[Tup] = None) -> None:
+        """Drop one weight entry, or the whole weight function when
+        ``tup`` is ``None`` (used e.g. by engine teardown to strip the
+        selector weights it installed).  Missing names are a no-op."""
+        if weight not in self.weights:
+            return
+        if tup is None:
+            del self.weights[weight]
+            if weight not in self.relations:
+                self._arity.pop(weight, None)
+        else:
+            self.weights[weight].pop(tuple(tup), None)
+        self._gaifman = None
+
     # -- queries ---------------------------------------------------------------
 
     def arity(self, name: str) -> int:

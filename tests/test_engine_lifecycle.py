@@ -1,0 +1,175 @@
+"""Engine lifecycle regressions: exception-safe point queries, selector
+teardown via close()/context manager, and race-free engine tagging."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engine import SELECTOR_PREFIX, WeightedQueryEngine
+from repro.graphs import path_graph, triangulated_grid
+from repro.logic import Atom, Bracket, StructureModel, Sum, Weight, \
+    eval_expression
+from repro.semirings import NATURAL, IntegerRing
+
+from tests.util import weighted_graph_structure
+
+E = lambda x, y: Atom("E", (x, y))
+w = lambda x, y: Weight("w", (x, y))
+
+OUT_SUM = Sum("y", Bracket(E("x", "y")) * w("x", "y"))
+EDGE_SUM = Sum(("x", "y"), Bracket(E("x", "y")) * w("x", "y"))
+
+
+class FailingRing(IntegerRing):
+    """Z whose ``add`` can be armed to blow up once, mid-propagation."""
+
+    name = "Z-failing"
+
+    def __init__(self):
+        self.failures_left = 0
+
+    def arm(self, failures: int = 1) -> None:
+        self.failures_left = failures
+
+    def add(self, a, b):
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise ArithmeticError("injected semiring failure")
+        return a + b
+
+
+def selector_names(structure):
+    return {name for name in structure.weights
+            if name.startswith(SELECTOR_PREFIX)}
+
+
+class TestQueryExceptionSafety:
+    def test_failed_query_does_not_poison_later_queries(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=4)
+        sr = FailingRing()
+        engine = WeightedQueryEngine(structure, OUT_SUM, sr)
+        model = StructureModel(structure, 0)
+        probes = structure.domain[:4]
+        expected = [eval_expression(OUT_SUM, model, sr, {"x": v})
+                    for v in probes]
+        assert [engine.query(v) for v in probes] == expected
+
+        sr.arm(1)  # the next semiring add (selector raise) explodes
+        with pytest.raises(ArithmeticError):
+            engine.query(probes[0])
+
+        # Regression: selectors must be back at zero, so every later
+        # query still sees exactly one hot selector per free variable.
+        assert [engine.query(v) for v in probes] == expected
+
+    def test_restore_loop_survives_a_failing_restore(self):
+        # Regression: with two free variables and a double failure (the
+        # read path and then the first restore), the restore loop must
+        # still zero the *second* selector instead of aborting.
+        structure = weighted_graph_structure(path_graph(6), seed=2)
+        sr = FailingRing()
+        expr = Bracket(E("x", "y")) * w("x", "y")
+        engine = WeightedQueryEngine(structure, expr, sr,
+                                     free_order=("x", "y"))
+        a, b = structure.domain[0], structure.domain[1]
+        expected = engine.query(a, b)
+        sr.arm(2)  # failure 1: raising a selector; failure 2: one restore
+        with pytest.raises(ArithmeticError):
+            engine.query(a, b)
+        for name, element in zip(engine.selectors, (a, b)):
+            assert engine.compiled.structure.weights[name][(element,)] == 0
+        assert engine.query(a, b) == expected
+
+    def test_selectors_zeroed_in_dynamic_state_after_failure(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=7)
+        sr = FailingRing()
+        engine = WeightedQueryEngine(structure, OUT_SUM, sr)
+        v = structure.domain[0]
+        sr.arm(1)
+        with pytest.raises(ArithmeticError):
+            engine.query(v)
+        for name in engine.selectors:
+            assert engine.compiled.structure.weights[name][(v,)] == 0
+
+
+class TestCloseLifecycle:
+    def test_close_strips_selector_weights(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=1)
+        weight_names = set(structure.weights)
+        engine = WeightedQueryEngine(structure, OUT_SUM, NATURAL)
+        assert selector_names(structure)  # constructor installed selectors
+        engine.close()
+        assert selector_names(structure) == set()
+        assert set(structure.weights) == weight_names
+        assert engine.closed
+
+    def test_close_is_idempotent_and_blocks_use(self):
+        structure = weighted_graph_structure(path_graph(5), seed=0)
+        engine = WeightedQueryEngine(structure, OUT_SUM, NATURAL)
+        engine.close()
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.query(structure.domain[0])
+        with pytest.raises(RuntimeError):
+            engine.query_batch([(structure.domain[0],)])
+        with pytest.raises(RuntimeError):
+            engine.update_weight("w", next(iter(structure.relations["E"])), 2)
+
+    def test_context_manager(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=3)
+        model = StructureModel(structure, 0)
+        with WeightedQueryEngine(structure, OUT_SUM, NATURAL) as engine:
+            v = structure.domain[1]
+            assert engine.query(v) == eval_expression(OUT_SUM, model,
+                                                      NATURAL, {"x": v})
+        assert engine.closed
+        assert selector_names(structure) == set()
+
+    def test_repeated_engines_do_not_grow_weight_table(self):
+        # Regression: constructing engines on one shared structure used to
+        # leak |free| selector weight functions per engine, forever.
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=8)
+        baseline = len(structure.weights)
+        values = []
+        for _ in range(12):
+            with WeightedQueryEngine(structure, OUT_SUM, NATURAL) as engine:
+                values.append(engine.query(structure.domain[0]))
+            assert len(structure.weights) == baseline
+        assert len(set(values)) == 1  # engines see identical data
+
+    def test_failed_construction_leaves_no_selectors_behind(self):
+        # Regression: if compilation/initial evaluation raises, there is
+        # no engine object to close() — the constructor itself must strip
+        # the selectors it already installed.
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=2)
+        weight_names = set(structure.weights)
+        sr = FailingRing()
+        sr.arm(1)  # first semiring add (initial circuit pass) explodes
+        with pytest.raises(ArithmeticError):
+            WeightedQueryEngine(structure, OUT_SUM, sr)
+        assert set(structure.weights) == weight_names
+
+    def test_closed_query_close_is_harmless(self):
+        structure = weighted_graph_structure(path_graph(4), seed=0)
+        with WeightedQueryEngine(structure, EDGE_SUM, NATURAL) as engine:
+            assert engine.value() == eval_expression(
+                EDGE_SUM, StructureModel(structure, 0), NATURAL)
+
+
+class TestEngineTagging:
+    def test_concurrent_construction_mints_unique_selectors(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=5)
+
+        def build(_):
+            engine = WeightedQueryEngine(structure.copy(), OUT_SUM, NATURAL)
+            try:
+                return tuple(engine.selectors)
+            finally:
+                engine.close()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            all_selectors = list(pool.map(build, range(32)))
+        flat = [name for selectors in all_selectors for name in selectors]
+        assert len(flat) == len(set(flat)), "colliding selector names"

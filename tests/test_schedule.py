@@ -1,0 +1,123 @@
+"""Layer schedules: the layer invariant, kind grouping, and caching."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits import (AddGate, CircuitBuilder, ConstGate, InputGate,
+                            MulGate, PermGate, build_schedule,
+                            optimize_circuit)
+from repro.core import compile_structure_query
+from repro.graphs import path_graph, triangulated_grid
+from repro.logic import Atom, Bracket, Sum, Weight
+
+from tests.util import weighted_graph_structure
+
+E = lambda x, y: Atom("E", (x, y))
+w = lambda x, y: Weight("w", (x, y))
+
+TRIANGLE = Sum(("x", "y", "z"),
+               Bracket(E("x", "y") & E("y", "z") & E("z", "x"))
+               * w("x", "y") * w("y", "z") * w("z", "x"))
+
+
+def random_circuit(seed: int, n_inputs: int = 8, n_ops: int = 40):
+    """A random well-formed circuit mixing all gate kinds."""
+    rng = random.Random(seed)
+    builder = CircuitBuilder()
+    pool = [builder.input(("in", i)) for i in range(n_inputs)]
+    pool.append(builder.const(rng.randint(0, 3)))
+    for _ in range(n_ops):
+        kind = rng.choice(("add", "mul", "mul", "perm"))
+        if kind == "perm":
+            n_rows = rng.randint(2, 3)
+            n_cols = rng.randint(n_rows, n_rows + 2)
+            gate = builder.perm(
+                [[rng.choice(pool) if rng.random() < 0.85 else None
+                  for _ in range(n_cols)] for _ in range(n_rows)])
+        else:
+            children = [rng.choice(pool) for _ in range(rng.randint(2, 4))]
+            gate = (builder.add if kind == "add" else builder.mul)(children)
+        if gate is not None:
+            pool.append(gate)
+    return builder.build(builder.add(pool[-5:]))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_layer_invariant_random_circuits(seed):
+    circuit = random_circuit(seed)
+    schedule = build_schedule(circuit)
+    schedule.validate()
+    # Every live gate is scheduled exactly once, in its lowest legal layer.
+    assert schedule.live_count() == len(circuit.live_gates())
+    for layer in schedule.layers:
+        for group in layer.groups:
+            for gate_id in group.gate_ids:
+                children = circuit.children_of(circuit.gates[gate_id])
+                expected = (1 + max(schedule.layer_of[c] for c in children)
+                            if children else 0)
+                assert schedule.layer_of[gate_id] == layer.index == expected
+
+
+def test_groups_are_kind_and_fanin_uniform():
+    circuit = random_circuit(99)
+    schedule = build_schedule(circuit)
+    kind_of = {AddGate: "add", MulGate: "mul", PermGate: "perm",
+               InputGate: "input", ConstGate: "const"}
+    for layer in schedule.layers:
+        for group in layer.groups:
+            for position, gate_id in enumerate(group.gate_ids):
+                gate = circuit.gates[gate_id]
+                assert kind_of[type(gate)] == group.kind
+                if group.kind in ("add", "mul"):
+                    assert len(gate.children) == group.fan_in
+                    assert group.children[position] == gate.children
+
+
+def test_inputs_and_consts_in_layer_zero():
+    circuit = random_circuit(7)
+    schedule = build_schedule(circuit)
+    assert schedule.input_gates
+    for gate_id, key in schedule.input_gates:
+        assert schedule.layer_of[gate_id] == 0
+        assert circuit.gates[gate_id].key == key
+    for gate_id, raw in schedule.const_gates:
+        assert schedule.layer_of[gate_id] == 0
+        assert circuit.gates[gate_id].value == raw
+
+
+def test_schedule_covers_only_live_gates():
+    builder = CircuitBuilder()
+    a, b = builder.input("a"), builder.input("b")
+    builder.add([a, b])           # dead: not reachable from the output
+    out = builder.mul([a, b])
+    schedule = build_schedule(builder.build(out))
+    scheduled = {g for layer in schedule.layers
+                 for group in layer.groups for g in group.gate_ids}
+    assert scheduled == set(builder.build(out).live_gates())
+
+
+@pytest.mark.parametrize("optimize", [False, True])
+def test_compiled_query_schedules(optimize):
+    structure = weighted_graph_structure(triangulated_grid(3, 3), seed=5)
+    compiled = compile_structure_query(structure, TRIANGLE, optimize=optimize)
+    schedule = compiled.schedule()
+    schedule.validate()
+    # Cached: the same object comes back (circuits are immutable).
+    assert compiled.schedule() is schedule
+    stats = schedule.stats()
+    assert stats["live_gates"] == compiled.circuit.stats()["gates"]
+    assert stats["layers"] == len(schedule.layers) > 1
+    assert stats["inputs"] == compiled.circuit.stats()["inputs"]
+
+
+def test_optimized_circuit_schedule_no_staler_than_raw():
+    structure = weighted_graph_structure(path_graph(6), seed=1)
+    compiled = compile_structure_query(structure, TRIANGLE, optimize=False)
+    optimized = optimize_circuit(compiled.circuit).circuit
+    raw, opt = build_schedule(compiled.circuit), build_schedule(optimized)
+    raw.validate()
+    opt.validate()
+    assert opt.live_count() <= raw.live_count()

@@ -1,0 +1,234 @@
+"""Vectorized (NumPy) backend: equivalence with the pure-Python backend,
+fallback behaviour for semirings without an array carrier, and batch edge
+cases (empty batch, single valuation, thread-sharded sweeps)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import (HAVE_NUMPY, BatchedEvaluator, kernel_for,
+                            valuation_from_dict)
+from repro.core import compile_structure_query
+from repro.engine import WeightedQueryEngine
+from repro.graphs import path_graph, triangulated_grid
+from repro.logic import Atom, Bracket, Sum, Weight
+from repro.semirings import (BOOLEAN, FLOAT, INF, INTEGER, MAX_PLUS, MIN_MAX,
+                             MIN_PLUS, NATURAL, RATIONAL, FreeSemiring,
+                             ModularRing, ProductSemiring)
+
+from tests.test_schedule import random_circuit
+from tests.util import weighted_graph_structure
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+E = lambda x, y: Atom("E", (x, y))
+w = lambda x, y: Weight("w", (x, y))
+
+EDGE_SUM = Sum(("x", "y"), Bracket(E("x", "y")) * w("x", "y"))
+
+#: (id, semiring, random carrier element) for every array-carried semiring.
+ARRAY_CASES = [
+    ("N", NATURAL, lambda rng: rng.randint(0, 5)),
+    ("Z", INTEGER, lambda rng: rng.randint(-5, 5)),
+    ("Q", RATIONAL,
+     lambda rng: Fraction(rng.randint(-4, 4), rng.randint(1, 5))),
+    ("float", FLOAT, lambda rng: round(rng.uniform(-2.0, 2.0), 3)),
+    ("min-plus", MIN_PLUS,
+     lambda rng: INF if rng.random() < 0.2 else rng.randint(0, 9)),
+    ("max-plus", MAX_PLUS,
+     lambda rng: -INF if rng.random() < 0.2 else rng.randint(0, 9)),
+    ("min-max", MIN_MAX,
+     lambda rng: INF if rng.random() < 0.2 else rng.randint(0, 9)),
+]
+
+FALLBACK_SEMIRINGS = [BOOLEAN, ModularRing(5), FreeSemiring(),
+                      ProductSemiring(INTEGER, BOOLEAN)]
+
+
+def array_params():
+    return pytest.mark.parametrize(
+        "sr,element", [(sr, element) for _, sr, element in ARRAY_CASES],
+        ids=[name for name, _, _ in ARRAY_CASES])
+
+
+def random_valuations(circuit, sr, element, seed, batch):
+    rng = random.Random(seed)
+    keys = sorted(circuit.inputs, key=repr)
+    return [valuation_from_dict({key: element(rng) for key in keys}, sr.zero)
+            for _ in range(batch)]
+
+
+def assert_rows_equal(sr, got, expected):
+    assert len(got) == len(expected)
+    for a, b in zip(got, expected):
+        assert sr.eq(a, b), (sr.name, a, b)
+
+
+@needs_numpy
+class TestEquivalence:
+    @array_params()
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits(self, sr, element, seed):
+        from repro.circuits import VectorizedEvaluator
+        circuit = random_circuit(seed)
+        valuations = random_valuations(circuit, sr, element, seed + 17,
+                                       batch=7)
+        expected = BatchedEvaluator(circuit, sr, valuations).results()
+        got = VectorizedEvaluator(circuit, sr, valuations).results()
+        assert_rows_equal(sr, got, expected)
+
+    @array_params()
+    def test_from_overrides_matches_callables(self, sr, element):
+        from repro.circuits import VectorizedEvaluator
+        circuit = random_circuit(11)
+        rng = random.Random(42)
+        keys = sorted(circuit.inputs, key=repr)
+        base = {key: element(rng) for key in keys}
+        overrides = [{key: element(rng)
+                      for key in rng.sample(keys, 3)} for _ in range(5)]
+        overrides.append({})  # no-edit row reproduces the base valuation
+        evaluator = VectorizedEvaluator.from_overrides(circuit, sr, base,
+                                                       overrides)
+        expected = BatchedEvaluator(circuit, sr, [
+            valuation_from_dict({**base, **override}, sr.zero)
+            for override in overrides]).results()
+        assert_rows_equal(sr, evaluator.results(), expected)
+        for index in range(len(overrides)):
+            assert sr.eq(evaluator.value(index), expected[index])
+
+    def test_values_of_interior_gate(self):
+        from repro.circuits import VectorizedEvaluator
+        circuit = random_circuit(3)
+        valuations = random_valuations(circuit, NATURAL,
+                                       lambda rng: rng.randint(0, 4), 5, 4)
+        batched = BatchedEvaluator(circuit, NATURAL, valuations)
+        vectorized = VectorizedEvaluator(circuit, NATURAL, valuations)
+        for gate_id in circuit.live_gates():
+            assert vectorized.values_of(gate_id) == batched.values_of(gate_id)
+        with pytest.raises(KeyError):
+            dead = next(g for g in range(len(circuit.gates))
+                        if g not in set(circuit.live_gates()))
+            vectorized.values_of(dead)
+
+    @pytest.mark.parametrize("batch", [0, 1])
+    def test_edge_batches(self, batch):
+        from repro.circuits import VectorizedEvaluator
+        circuit = random_circuit(8)
+        for sr, element in ((NATURAL, lambda rng: rng.randint(0, 4)),
+                            (MIN_PLUS, lambda rng: rng.randint(0, 9))):
+            valuations = random_valuations(circuit, sr, element, 1, batch)
+            got = VectorizedEvaluator(circuit, sr, valuations).results()
+            expected = BatchedEvaluator(circuit, sr, valuations).results()
+            assert_rows_equal(sr, got, expected)
+
+
+@needs_numpy
+class TestCompiledBackends:
+    def test_backend_equivalence_on_compiled_query(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=2)
+        compiled = compile_structure_query(structure, EDGE_SUM)
+        edges = sorted(structure.relations["E"])
+        rng = random.Random(0)
+        batch = [{("w", "w", rng.choice(edges)): rng.randint(1, 9)}
+                 for _ in range(9)] + [{}]
+        python = compiled.evaluate_batch(NATURAL, batch, backend="python")
+        numpy_ = compiled.evaluate_batch(NATURAL, batch, backend="numpy")
+        auto = compiled.evaluate_batch(NATURAL, batch)
+        assert python == numpy_ == auto
+        assert python[-1] == compiled.evaluate(NATURAL)
+
+    def test_callable_valuations_take_generic_path(self):
+        structure = weighted_graph_structure(path_graph(6), seed=3)
+        compiled = compile_structure_query(structure, EDGE_SUM)
+        base = compiled.input_valuation(NATURAL)
+        fns = [lambda key, _o=dict(base): _o.get(key, 0), lambda key: 0]
+        assert compiled.evaluate_batch(NATURAL, fns, backend="numpy") \
+            == compiled.evaluate_batch(NATURAL, fns, backend="python")
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_workers_shard_equivalently(self, backend):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=6)
+        compiled = compile_structure_query(structure, EDGE_SUM)
+        edges = sorted(structure.relations["E"])
+        rng = random.Random(4)
+        batch = [{("w", "w", rng.choice(edges)): rng.randint(1, 9)}
+                 for _ in range(13)]
+        serial = compiled.evaluate_batch(NATURAL, batch, backend=backend)
+        sharded = compiled.evaluate_batch(NATURAL, batch, backend=backend,
+                                          workers=4)
+        assert serial == sharded
+
+    def test_unknown_backend_rejected(self):
+        structure = weighted_graph_structure(path_graph(4), seed=0)
+        compiled = compile_structure_query(structure, EDGE_SUM)
+        with pytest.raises(ValueError):
+            compiled.evaluate_batch(NATURAL, [{}], backend="fortran")
+
+    def test_engine_query_batch_backends_agree(self):
+        structure = weighted_graph_structure(triangulated_grid(3, 3), seed=4)
+        expr = Sum("y", Bracket(E("x", "y")) * w("x", "y"))
+        with WeightedQueryEngine(structure, expr, INTEGER) as engine:
+            probes = [(v,) for v in structure.domain[:7]]
+            python = engine.query_batch(probes, backend="python")
+            numpy_ = engine.query_batch(probes, backend="numpy")
+            assert python == numpy_
+            assert python == [engine.query(*probe) for probe in probes]
+
+
+class TestFallback:
+    @pytest.mark.parametrize("sr", FALLBACK_SEMIRINGS,
+                             ids=[sr.name for sr in FALLBACK_SEMIRINGS])
+    def test_no_kernel_for_non_array_semirings(self, sr):
+        assert kernel_for(sr) is None
+
+    def test_auto_falls_back_to_python(self):
+        structure = weighted_graph_structure(
+            path_graph(6), seed=1, conv=lambda v: v > 0)
+        compiled = compile_structure_query(structure, EDGE_SUM)
+        edges = sorted(structure.relations["E"])
+        batch = [{("w", "w", edges[0]): False}, {}]
+        auto = compiled.evaluate_batch(BOOLEAN, batch)
+        python = compiled.evaluate_batch(BOOLEAN, batch, backend="python")
+        assert auto == python
+        assert auto[-1] == compiled.evaluate(BOOLEAN)
+
+    @needs_numpy
+    def test_explicit_numpy_backend_raises_without_kernel(self):
+        structure = weighted_graph_structure(path_graph(4), seed=0)
+        compiled = compile_structure_query(structure, EDGE_SUM)
+        with pytest.raises(RuntimeError):
+            compiled.evaluate_batch(BOOLEAN, [{}], backend="numpy")
+
+    @needs_numpy
+    def test_vectorized_evaluator_rejects_non_array_semiring(self):
+        from repro.circuits import VectorizedEvaluator
+        circuit = random_circuit(2)
+        with pytest.raises(ValueError):
+            VectorizedEvaluator(circuit, BOOLEAN, [])
+
+
+@needs_numpy
+def test_register_kernel_extension_point():
+    import numpy as np
+
+    from repro.circuits import VectorizedEvaluator
+    from repro.circuits.vectorized import ArrayKernel, register_kernel
+    from repro.semirings.boolean import BooleanSemiring
+
+    class VectorBool(BooleanSemiring):
+        name = "B-vec"
+
+    register_kernel(VectorBool, lambda sr: ArrayKernel(
+        name="bool", dtype=np.bool_, add_reduce=np.logical_or.reduce,
+        mul_reduce=np.logical_and.reduce))
+    sr = VectorBool()
+    assert kernel_for(sr) is not None
+    circuit = random_circuit(5)
+    valuations = random_valuations(circuit, sr,
+                                   lambda rng: rng.random() < 0.5, 9, 6)
+    expected = BatchedEvaluator(circuit, sr, valuations).results()
+    got = VectorizedEvaluator(circuit, sr, valuations).results()
+    assert got == expected
