@@ -1,0 +1,194 @@
+"""E-S1: serving throughput — micro-batched QueryService vs per-query loop.
+
+A 32-thread point-query load is driven through :class:`repro.serve.
+QueryService` (micro-batching through ``evaluate_batch``) and compared
+against the naive baseline: the same number of point queries answered by
+a sequential per-query ``engine.query`` loop (the Theorem 8 selector
+protocol, one dynamic update pass per probe).  Acceptance: the service
+sustains >= 3x the naive queries/sec on the numpy backend at full size.
+
+Axes reported:
+
+* backend axis — the same service load on ``backend="python"`` vs
+  ``backend="numpy"`` (queries/sec each);
+* result cache — the headline numbers run with the result cache
+  disabled (micro-batching only); a cached row shows the steady-state
+  effect of the epoch-tagged LRU on a repeating probe mix.
+
+``REPRO_BENCH_FAST=1`` shrinks the workload (assertions are skipped);
+``REPRO_BACKEND=python`` drops the numpy rows (the no-numpy CI leg).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+
+from repro import FLOAT, Atom, Bracket, Sum, Weight, WeightedQueryEngine
+from repro.circuits import HAVE_NUMPY
+from repro.serve import QueryService
+
+from common import report, timed, triangle_workload
+
+E = lambda x, y: Atom("E", (x, y))
+w = lambda x, y: Weight("w", (x, y))
+
+#: f(x) = Σ_y [E(x, y)] * w(x, y) — the weighted out-degree point query.
+DEGREE = Sum("y", Bracket(E("x", "y")) * w("x", "y"))
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+NUMPY_OK = HAVE_NUMPY and os.environ.get("REPRO_BACKEND") != "python"
+SIDE = 8 if FAST else 20
+THREADS = 8 if FAST else 32
+QUERIES_PER_THREAD = 8 if FAST else 100
+ROUNDS = 1 if FAST else 3
+MAX_BATCH = 256
+MAX_DELAY = 0.001
+
+
+def serving_workload(side: int):
+    """Float-weighted triangulated grid (float64 array kernel) plus a
+    per-thread probe schedule over the whole domain."""
+    structure = triangle_workload(side)
+    for edge in list(structure.weights["w"]):
+        structure.weights["w"][edge] = float(structure.weights["w"][edge])
+    structure._touch()  # weights were edited in place
+    schedules = []
+    for thread_id in range(THREADS):
+        rng = random.Random(1000 + thread_id)
+        probes = [rng.choice(structure.domain)
+                  for _ in range(QUERIES_PER_THREAD)]
+        schedules.append(probes)
+    return structure, schedules
+
+
+def run_naive_loop(engine, schedules):
+    """The baseline: every probe through the per-query selector protocol.
+    (Compilation is paid outside the timed region on both paths — the
+    paper's amortized-preprocessing model.)"""
+    return {probe: engine.query(probe)
+            for schedule in schedules for probe in schedule}
+
+
+def drive_service(service, schedules):
+    errors = []
+
+    def client(schedule):
+        try:
+            for probe in schedule:
+                service.query(probe)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=client, args=(schedule,))
+               for schedule in schedules]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def best_rate(fn, total_queries):
+    """Best-of-N queries/sec plus the last elapsed time."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        _, elapsed = timed(fn)
+        best = min(best, elapsed)
+    return total_queries / best, best
+
+
+def test_service_throughput_vs_per_query_loop(capsys):
+    structure, schedules = serving_workload(SIDE)
+    total = sum(len(schedule) for schedule in schedules)
+
+    with WeightedQueryEngine(structure.copy(), DEGREE, FLOAT) as engine:
+        expected = run_naive_loop(engine, schedules)  # warm + reference
+        naive_rate, naive_time = best_rate(
+            lambda: run_naive_loop(engine, schedules), total)
+
+    # Correctness: the service answers what the engine answers.
+    with QueryService(structure.copy(), DEGREE, FLOAT, backend="auto",
+                      max_batch_size=MAX_BATCH, max_batch_delay=MAX_DELAY,
+                      result_cache_size=0) as service:
+        for probe in list(expected)[:10]:
+            assert FLOAT.eq(service.query(probe), expected[probe])
+
+    rows = [["engine.query loop", round(naive_time, 4),
+             int(naive_rate), 1.0]]
+    rates = {}
+    backends = ["python"] + (["numpy"] if NUMPY_OK else [])
+    for backend in backends:
+        with QueryService(structure.copy(), DEGREE, FLOAT,
+                          backend=backend, max_batch_size=MAX_BATCH,
+                          max_batch_delay=MAX_DELAY,
+                          result_cache_size=0) as service:
+            drive_service(service, schedules)  # warm pass
+            rate, elapsed = best_rate(
+                lambda: drive_service(service, schedules), total)
+        rates[backend] = rate
+        rows.append([f"service ({backend})", round(elapsed, 4), int(rate),
+                     round(rate / naive_rate, 2)])
+
+    # Steady-state with the result cache on (same probe mix repeats).
+    with QueryService(structure.copy(), DEGREE, FLOAT,
+                      backend="auto" if NUMPY_OK else "python",
+                      max_batch_size=MAX_BATCH, max_batch_delay=MAX_DELAY,
+                      result_cache_size=4096) as service:
+        drive_service(service, schedules)  # cold pass fills the cache
+        _, warm_time = timed(drive_service, service, schedules)
+        cached_stats = service.stats()
+    rows.append(["service (cached)", round(warm_time, 4),
+                 int(total / warm_time) if warm_time else 0,
+                 round(total / warm_time / naive_rate, 2) if warm_time
+                 else 0.0])
+
+    with capsys.disabled():
+        report(f"E-S1: {THREADS}-thread point-query serving "
+               f"(side={SIDE}, {total} queries, seconds)",
+               ["path", "time", "qps", "speedup"], rows)
+        print(f"cached-pass stats: result_cache={cached_stats['result_cache']}"
+              f" mean_batch={cached_stats['mean_batch']}")
+    if not FAST and NUMPY_OK:
+        speedup = rates["numpy"] / naive_rate
+        assert speedup >= 3.0, (
+            f"micro-batched service only {speedup:.2f}x the per-query "
+            f"engine.query loop on the numpy backend (target: 3x)")
+
+
+def test_plan_cache_amortizes_pool_compiles(capsys):
+    """Pool construction compiles once: engines 2..N rebind the cached
+    plan, so a pool of 4 costs about one compilation, not four."""
+    structure, _ = serving_workload(6 if FAST else 10)
+
+    def build_pool():
+        with QueryService(structure.copy(), DEGREE, FLOAT,
+                          pool_size=4) as service:
+            return service.plan_cache.stats()
+
+    stats, elapsed = timed(build_pool)
+
+    def build_loose():
+        engines = [WeightedQueryEngine(structure.copy(), DEGREE, FLOAT)
+                   for _ in range(4)]
+        for engine in engines:
+            engine.close()
+
+    _, loose_elapsed = timed(build_loose)
+    with capsys.disabled():
+        report("E-S2: pool construction, shared plan vs 4 compiles (seconds)",
+               ["path", "time"],
+               [["pool_size=4 (plan cache)", round(elapsed, 4)],
+                ["4 independent engines", round(loose_elapsed, 4)]])
+    assert stats["misses"] == 1 and stats["hits"] == 3
+
+
+def test_service_sweep(benchmark):
+    structure, schedules = serving_workload(6 if FAST else 12)
+    with QueryService(structure.copy(), DEGREE, FLOAT,
+                      backend="auto" if NUMPY_OK else "python",
+                      max_batch_size=MAX_BATCH, max_batch_delay=MAX_DELAY,
+                      result_cache_size=0) as service:
+        benchmark(lambda: drive_service(service, schedules[:4]))

@@ -8,11 +8,28 @@ a single JSON report (default ``BENCH_ci.json``) which CI uploads as a
 workflow artifact, so the perf trajectory of the repo is recorded per
 commit.
 
+On the numpy leg, benches that honor ``REPRO_BACKEND`` (detected by
+scanning their source) are re-run with ``REPRO_BACKEND=python`` and the
+per-bench python-vs-numpy wall-clock ratio is recorded
+(``python_seconds`` / ``speedup_vs_python``), so the backend trajectory
+is comparable across runs from the artifact alone.
+
+Perf-regression gate: ``--baseline BENCH_baseline.json`` diffs the
+current run against the committed baseline and exits 2 when any bench
+slowed down by more than ``--max-regression`` (default 25%, plus a small
+``--grace`` absolute allowance for sub-second noise).  ``--check
+REPORT.json`` gates an existing report without re-running the benches
+(used to validate the gate itself against synthetic regressions).
+Refresh the baseline with ``--write-baseline BENCH_baseline.json``.
+
 Usage::
 
     python benchmarks/ci_smoke.py [--output BENCH_ci.json] [--full]
+        [--backend auto|python|numpy] [--baseline BENCH_baseline.json]
+        [--max-regression 0.25] [--grace 0.25]
+        [--write-baseline BENCH_baseline.json] [--check BENCH_ci.json]
 
-Exits nonzero if any bench fails, so CI surfaces regressions.
+Exits 1 if any bench fails, 2 if the perf gate trips.
 """
 
 from __future__ import annotations
@@ -50,6 +67,43 @@ def run_bench(path: str, env: dict) -> dict:
     }
 
 
+def backend_aware(path: str) -> bool:
+    """Does this bench switch behavior on ``REPRO_BACKEND``?"""
+    with open(path) as handle:
+        return "REPRO_BACKEND" in handle.read()
+
+
+def compare_to_baseline(report: dict, baseline: dict,
+                        max_regression: float, grace: float):
+    """Per-bench slowdown check: returns (failures, notes)."""
+    failures, notes = [], []
+    base_benches = {b["bench"]: b for b in baseline.get("benches", [])}
+    for bench in report.get("benches", []):
+        base = base_benches.pop(bench["bench"], None)
+        if base is None:
+            notes.append(f"{bench['bench']}: new bench, no baseline entry")
+            continue
+        allowed = base["seconds"] * (1.0 + max_regression) + grace
+        if bench["seconds"] > allowed:
+            slowdown = (bench["seconds"] / base["seconds"] - 1.0) * 100 \
+                if base["seconds"] else float("inf")
+            failures.append(
+                f"{bench['bench']}: {bench['seconds']}s vs baseline "
+                f"{base['seconds']}s (+{slowdown:.0f}%, allowed "
+                f"{allowed:.3f}s)")
+    for name in base_benches:
+        notes.append(f"{name}: in baseline but not in this run")
+    return failures, notes
+
+
+def baseline_for_backend(data: dict, backend: str):
+    """A baseline file is either one plain report or a mapping
+    ``backend -> report`` (the committed form covers both CI legs)."""
+    if "benches" in data:
+        return data
+    return data.get(backend)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default=os.path.join(REPO,
@@ -61,6 +115,22 @@ def main(argv=None) -> int:
                         help="evaluation backend for backend-aware benches "
                              "(exported as REPRO_BACKEND; 'auto' uses numpy "
                              "when importable)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to gate against (exit 2 on "
+                             "regression)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="max tolerated per-bench slowdown fraction "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--grace", type=float, default=0.25,
+                        help="absolute seconds of slack per bench on top of "
+                             "the relative bound (shields sub-second "
+                             "benches from scheduler noise)")
+    parser.add_argument("--write-baseline", default=None,
+                        help="merge this run into the given baseline file, "
+                             "keyed by backend")
+    parser.add_argument("--check", default=None,
+                        help="gate an existing report JSON against "
+                             "--baseline without running any bench")
     args = parser.parse_args(argv)
 
     have_numpy = importlib.util.find_spec("numpy") is not None
@@ -68,6 +138,11 @@ def main(argv=None) -> int:
         parser.error("--backend numpy requested but numpy is not importable")
     backend = ("python" if args.backend == "python" or not have_numpy
                else "numpy")
+
+    if args.check is not None:
+        with open(args.check) as handle:
+            report = json.load(handle)
+        return gate(report, args, report.get("backend", backend))
 
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO, "src") + (
@@ -81,10 +156,33 @@ def main(argv=None) -> int:
                      if name.startswith("bench_") and name.endswith(".py"))
     results = []
     for name in benches:
-        result = run_bench(os.path.join(HERE, name), env)
+        path = os.path.join(HERE, name)
+        result = run_bench(path, env)
+        if backend == "numpy" and backend_aware(path):
+            # The backend trajectory: the same bench, python backend, so
+            # the artifact records the per-bench vectorization speedup.
+            python_env = dict(env)
+            python_env["REPRO_BACKEND"] = "python"
+            python_run = run_bench(path, python_env)
+            if python_run["returncode"] == 0:
+                result["python_seconds"] = python_run["seconds"]
+                result["speedup_vs_python"] = (
+                    round(python_run["seconds"] / result["seconds"], 2)
+                    if result["seconds"] else None)
+            else:
+                # A crashing python-backend rerun is a real failure, not
+                # a timing sample: record it and fail the run.
+                result["python_rerun"] = {
+                    "returncode": python_run["returncode"],
+                    "summary": python_run["summary"],
+                }
+                result["returncode"] = result["returncode"] or \
+                    python_run["returncode"]
         status = "ok" if result["returncode"] == 0 else "FAIL"
+        ratio = (f"  python/numpy={result['speedup_vs_python']}x"
+                 if "speedup_vs_python" in result else "")
         print(f"[{status}] {name}: {result['seconds']}s  "
-              f"({result['summary']})", flush=True)
+              f"({result['summary']}){ratio}", flush=True)
         results.append(result)
 
     report = {
@@ -101,7 +199,50 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(f"wrote {args.output} ({len(results)} benches, "
           f"{report['total_seconds']}s total)")
-    return 1 if any(r["returncode"] for r in results) else 0
+
+    if args.write_baseline:
+        merged = {}
+        if os.path.exists(args.write_baseline):
+            with open(args.write_baseline) as handle:
+                merged = json.load(handle)
+            if "benches" in merged:  # legacy single-report form
+                merged = {merged.get("backend", "numpy"): merged}
+        merged[backend] = report
+        with open(args.write_baseline, "w") as handle:
+            json.dump(merged, handle, indent=2)
+            handle.write("\n")
+        print(f"merged {backend} baseline into {args.write_baseline}")
+
+    if any(r["returncode"] for r in results):
+        return 1
+    return gate(report, args, backend)
+
+
+def gate(report: dict, args, backend: str) -> int:
+    """Apply the perf-regression gate; returns the process exit code."""
+    if args.baseline is None:
+        return 0
+    with open(args.baseline) as handle:
+        data = json.load(handle)
+    baseline = baseline_for_backend(data, backend)
+    if baseline is None:
+        print(f"perf gate: no '{backend}' section in {args.baseline}; "
+              f"skipping (refresh with --write-baseline)")
+        return 0
+    failures, notes = compare_to_baseline(report, baseline,
+                                          args.max_regression, args.grace)
+    for note in notes:
+        print(f"perf gate note: {note}")
+    if failures:
+        print(f"perf gate FAILED (>{args.max_regression:.0%} slowdown vs "
+              f"{args.baseline}):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 2
+    print(f"perf gate ok: no bench slowed by more than "
+          f"{args.max_regression:.0%} (+{args.grace}s grace) vs "
+          f"{args.baseline}")
+    return 0
 
 
 if __name__ == "__main__":

@@ -20,11 +20,12 @@ Quickstart::
 """
 
 from . import (algebra, baselines, circuits, core, engine, enumeration, fog,
-               graphs, logic, qe, semirings, structures)
+               graphs, logic, qe, semirings, serve, structures)
 from .circuits import (HAVE_NUMPY, BatchedEvaluator, LayerSchedule,
                        OptimizeResult, StaticEvaluator, VectorizedEvaluator,
                        build_schedule, optimize_circuit)
-from .core import CompiledQuery, DynamicQuery, compile_structure_query
+from .core import (CompiledQuery, DynamicQuery, compile_structure_query,
+                   plan_cache_key)
 from .engine import WeightedQueryEngine
 from .enumeration import AnswerEnumerator, ProvenanceEnumerator
 from .fog import evaluate_fog
@@ -33,6 +34,7 @@ from .graphs import (grid_graph, path_graph, random_bounded_degree,
 from .logic import (Atom, Bracket, Eq, Sum, WConst, Weight, exists, forall,
                     neq)
 from .qe import eliminate_quantifiers
+from .serve import PlanCache, QueryService, ResultCache
 from .semirings import (BOOLEAN, FLOAT, INTEGER, MAX_PLUS, MIN_PLUS, NATURAL,
                         RATIONAL, FreeSemiring, ModularRing, Semiring)
 from .structures import LabeledForest, Signature, Structure, graph_structure
@@ -41,6 +43,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "compile_structure_query", "CompiledQuery", "DynamicQuery",
+    "plan_cache_key",
+    "QueryService", "PlanCache", "ResultCache",
     "optimize_circuit", "OptimizeResult", "BatchedEvaluator",
     "StaticEvaluator", "VectorizedEvaluator", "LayerSchedule",
     "build_schedule", "HAVE_NUMPY",

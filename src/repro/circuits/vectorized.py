@@ -135,6 +135,17 @@ def _index_plan(schedule: LayerSchedule) -> Dict[int, Any]:
     return plan
 
 
+@dataclass(frozen=True)
+class PreparedBase:
+    """A precomputed base input column for override batches: the input
+    gates' base values as one ``(slots, 1)`` array, plus the key->slot
+    map and the gate-id list to scatter the filled matrix with."""
+
+    column: Any
+    slot_of: Dict[Any, int]
+    gate_ids: List[GateId]
+
+
 class VectorizedEvaluator:
     """Evaluate one circuit over N valuations, one layer at a time.
 
@@ -157,31 +168,61 @@ class VectorizedEvaluator:
         self._run()
 
     @classmethod
+    def prepare_base(cls, circuit: Circuit, sr: Semiring,
+                     base: Mapping[Any, Any],
+                     schedule: Optional[LayerSchedule] = None,
+                     kernel: Optional[ArrayKernel] = None) -> "PreparedBase":
+        """Precompute the base input column for :meth:`from_overrides`.
+
+        Serving workloads evaluate thousands of override batches against
+        one slowly-changing base valuation; rebuilding the column (a walk
+        over every input gate) per batch is pure overhead.  The returned
+        :class:`PreparedBase` is immutable — build a new one when the
+        base valuation changes (``CompiledQuery`` memoizes this, keyed by
+        its update epoch)."""
+        if schedule is None:
+            schedule = build_schedule(circuit)
+        if kernel is None:
+            kernel = kernel_for(sr)
+            if kernel is None:
+                raise ValueError(f"semiring {sr.name} has no array kernel")
+        zero = sr.zero
+        input_gates = schedule.input_gates
+        column = _np.array([base.get(key, zero) for _, key in input_gates],
+                           dtype=kernel.dtype).reshape(-1, 1)
+        return PreparedBase(
+            column=column,
+            slot_of={key: slot for slot, (_, key) in enumerate(input_gates)},
+            gate_ids=[gate_id for gate_id, _ in input_gates])
+
+    @classmethod
     def from_overrides(cls, circuit: Circuit, sr: Semiring,
-                       base: Mapping[Any, Any],
+                       base: "Mapping[Any, Any] | PreparedBase",
                        overrides: Sequence[Mapping[Any, Any]],
                        schedule: Optional[LayerSchedule] = None,
                        kernel: Optional[ArrayKernel] = None
                        ) -> "VectorizedEvaluator":
         """Batch = ``base`` valuation + one sparse override mapping per
         batch element (unknown override keys are ignored, matching the
-        mapping semantics of ``CompiledQuery.evaluate_batch``)."""
+        mapping semantics of ``CompiledQuery.evaluate_batch``).  ``base``
+        is either a plain mapping or a :class:`PreparedBase` from
+        :meth:`prepare_base` (the amortized form)."""
         self = cls.__new__(cls)
         self._prepare(circuit, sr, len(overrides), schedule, kernel)
-        zero = sr.zero
-        input_gates = self.schedule.input_gates
-        base_column = [base.get(key, zero) for _, key in input_gates]
-        matrix = _np.empty((len(input_gates), self.batch_size),
+        if not isinstance(base, PreparedBase):
+            base = cls.prepare_base(self.circuit, sr, base,
+                                    schedule=self.schedule,
+                                    kernel=self.kernel)
+        matrix = _np.empty((len(base.gate_ids), self.batch_size),
                            dtype=self.kernel.dtype)
-        matrix[:, :] = _np.array(base_column,
-                                 dtype=self.kernel.dtype).reshape(-1, 1)
-        slot_of = {key: slot for slot, (_, key) in enumerate(input_gates)}
+        matrix[:, :] = base.column
+        slot_of = base.slot_of
         for column, override in enumerate(overrides):
             for key, value in override.items():
                 slot = slot_of.get(key)
                 if slot is not None:
                     matrix[slot, column] = value
-        self._values[[gate_id for gate_id, _ in input_gates]] = matrix
+        self._values[base.gate_ids] = matrix
         self._run()
         return self
 

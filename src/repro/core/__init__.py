@@ -4,7 +4,8 @@ from .forest_compiler import (ForestCompiler, Fragment, chain_info,
                               compile_forest_query, exclusive_assignments,
                               labeled_shapes_for_block, required_comparable,
                               residual_formula, weight_depth_index)
-from .pipeline import CompiledQuery, DynamicQuery, compile_structure_query
+from .pipeline import (CompiledQuery, DynamicQuery, compile_structure_query,
+                       plan_cache_key)
 from .shapes import Shape, enumerate_shapes
 from .stages import (DegeneracyEncoding, color_blocks, forest_from_structure,
                      stage_degeneracy, stage_forest)
@@ -16,4 +17,5 @@ __all__ = [
     "stage_degeneracy", "stage_forest", "forest_from_structure",
     "color_blocks", "DegeneracyEncoding",
     "CompiledQuery", "DynamicQuery", "compile_structure_query",
+    "plan_cache_key",
 ]

@@ -53,12 +53,52 @@ class CompiledQuery:
     #: schedule never goes stale).
     _schedule: Optional[LayerSchedule] = field(
         default=None, repr=False, compare=False)
+    #: bumped by every recorded-input mutation (weight updates, relation
+    #: toggles); versions the memoized base valuations below.
+    _input_version: int = field(default=0, repr=False, compare=False)
+    #: semiring -> [version, base valuation dict, PreparedBase or None].
+    _base_cache: Dict[Any, list] = field(default_factory=dict, repr=False,
+                                         compare=False)
 
     def schedule(self) -> LayerSchedule:
         """The circuit's layer schedule, computed once and cached."""
         if self._schedule is None:
             self._schedule = build_schedule(self.circuit)
         return self._schedule
+
+    def _invalidate_inputs(self) -> None:
+        """Called by every mutation of ``recorded``: stales the memoized
+        base valuations (serving-path cache hook)."""
+        self._input_version += 1
+
+    def _cached_entry(self, sr: Semiring) -> list:
+        """The memoized ``[version, base valuation, PreparedBase|None]``
+        entry for ``sr``, rebuilt when an update has staled it.
+
+        The base dict is shared across calls — callers must treat it as
+        read-only (the batched evaluators overlay copies).  Entries go
+        stale the moment an update lands; a concurrent in-flight batch
+        may still read the old base, which is the documented serving
+        semantics.  Derived state (the prepared column) is always built
+        from and stored into *one* entry object, so a stale base can
+        never be planted in a fresh entry by a racing thread."""
+        entry = self._base_cache.get(sr)
+        if entry is None or entry[0] != self._input_version:
+            entry = [self._input_version, self.input_valuation(sr), None]
+            self._base_cache[sr] = entry
+        return entry
+
+    def _cached_input_valuation(self, sr: Semiring) -> Dict[Hashable, Any]:
+        """Memoized :meth:`input_valuation` for the batched hot path."""
+        return self._cached_entry(sr)[1]
+
+    def _cached_override_base(self, sr: Semiring):
+        """Memoized :class:`PreparedBase` for the numpy override path."""
+        entry = self._cached_entry(sr)
+        if entry[2] is None:
+            entry[2] = VectorizedEvaluator.prepare_base(
+                self.circuit, sr, entry[1], schedule=self.schedule())
+        return entry[2]
 
     def input_valuation(self, sr: Semiring) -> Dict[Hashable, Any]:
         """Carrier values for every recorded input gate."""
@@ -123,14 +163,15 @@ class CompiledQuery:
 
     def _evaluate_chunk(self, sr: Semiring, valuations: List[Any],
                         use_numpy: bool) -> List[Any]:
-        base = self.input_valuation(sr)
         zero = sr.zero
         if use_numpy and not any(callable(v) for v in valuations):
-            # Sparse-override fast path: broadcast the base input column
-            # once, then write only the per-valuation edits.
+            # Sparse-override fast path: the precomputed (memoized) base
+            # input column is broadcast once, then only the per-valuation
+            # edits are written.
             return VectorizedEvaluator.from_overrides(
-                self.circuit, sr, base, valuations,
+                self.circuit, sr, self._cached_override_base(sr), valuations,
                 schedule=self.schedule()).results()
+        base = self._cached_input_valuation(sr)
         fns = []
         for valuation in valuations:
             if callable(valuation):
@@ -147,6 +188,22 @@ class CompiledQuery:
     def dynamic(self, sr: Semiring, strategy: Optional[str] = None,
                 on_change=None) -> "DynamicQuery":
         return DynamicQuery(self, sr, strategy=strategy, on_change=on_change)
+
+    def rebind(self, structure: Structure) -> "CompiledQuery":
+        """A fresh :class:`CompiledQuery` over ``structure``, sharing the
+        immutable artifacts (circuit, layer schedule, blocks) and copying
+        the mutable per-instance state (``recorded``, forests, coloring).
+
+        ``structure`` must be content-equal to the structure the plan was
+        compiled for (same fingerprint) — this is how the compile-plan
+        cache hands one compilation to many consumers without aliasing
+        their update state.
+        """
+        return CompiledQuery(
+            self.circuit, structure, self.blocks, dict(self.coloring),
+            [(colors, forest.copy()) for colors, forest in self.forests],
+            structure.gaifman(), dict(self.recorded), self.dynamic_relations,
+            _schedule=self._schedule)
 
     def stats(self) -> Dict[str, Any]:
         info = self.circuit.stats()
@@ -198,6 +255,8 @@ class CompiledQuery:
                 state = present == positive
                 self.recorded[key] = ("b", state)
                 changed.append((key, state))
+        if changed:
+            self._invalidate_inputs()
         return changed
 
 
@@ -224,11 +283,14 @@ class DynamicQuery:
         tup = tuple(tup)
         if tup not in compiled.structure.weights.get(name, {}):
             raise KeyError(f"{name}{tup} was not declared at compile time")
-        compiled.structure.weights[name][tup] = value
+        # Through set_weight, not a raw dict write: the structure's
+        # content caches (fingerprint, Gaifman) must see the mutation.
+        compiled.structure.set_weight(name, tup, value)
         key = ("w", name, tup)
         touched = 0
         if key in compiled.recorded:
             compiled.recorded[key] = ("w", value)
+            compiled._invalidate_inputs()
             touched = self.evaluator.update_input(key, value)
         return touched
 
@@ -244,10 +306,23 @@ class DynamicQuery:
         return touched
 
 
+def plan_cache_key(structure: Structure, expr: WExpr,
+                   dynamic_relations: Sequence[str] = (),
+                   optimize: bool = True) -> Tuple:
+    """The compile-plan cache key: everything the compiled circuit depends
+    on.  The structure enters via its content :meth:`~Structure.fingerprint`
+    (domain order, relations, weight values), the expression via its
+    canonical ``repr`` (expressions are frozen dataclasses with
+    deterministic reprs)."""
+    return (structure.fingerprint(), repr(expr),
+            frozenset(dynamic_relations), bool(optimize))
+
+
 def compile_structure_query(structure: Structure, expr: WExpr,
                             dynamic_relations: Sequence[str] = (),
                             coloring: Optional[Dict[Hashable, int]] = None,
-                            optimize: bool = True
+                            optimize: bool = True,
+                            plan_cache: Optional[Any] = None
                             ) -> CompiledQuery:
     """Theorem 6 end-to-end (quantifier-free brackets; see repro.qe for
     eliminating quantifiers first).
@@ -259,7 +334,29 @@ def compile_structure_query(structure: Structure, expr: WExpr,
     input-gate table, so updates and enumeration are unaffected.  Pass
     ``optimize=False`` to keep the raw Theorem 6 circuit (the shape the
     paper's size bounds are stated for).
+
+    ``plan_cache`` (e.g. :class:`repro.serve.PlanCache`) memoizes whole
+    compilations keyed by :func:`plan_cache_key`: on a hit the cached
+    plan is :meth:`~CompiledQuery.rebind`-ed to ``structure`` — sharing
+    the immutable circuit and layer schedule, copying the mutable update
+    state — and the normalize/color/forest/compile stages are skipped
+    entirely.  An explicit ``coloring`` bypasses the cache (the coloring
+    is an input the key does not capture).
     """
+    if plan_cache is not None and coloring is None:
+        key = plan_cache_key(structure, expr, dynamic_relations, optimize)
+        template = plan_cache.lookup(key)
+        if template is not None:
+            return template.rebind(structure)
+        compiled = compile_structure_query(structure, expr,
+                                           dynamic_relations=dynamic_relations,
+                                           optimize=optimize)
+        # Store a pristine snapshot: the caller may mutate its plan's
+        # recorded weights/forest labels, which must not drift the cached
+        # template away from the content the key fingerprints.
+        plan_cache.store(key, compiled.rebind(structure))
+        return compiled
+
     blocks = normalize(expr)
     width = max((len(b.vars) for b in blocks), default=0)
     dynamic = frozenset(dynamic_relations)

@@ -20,6 +20,7 @@ rejects further queries and updates.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
 
@@ -43,13 +44,23 @@ class WeightedQueryEngine:
 
     ``expr`` may have free variables; ``free_order`` fixes the argument
     order of :meth:`query` (defaults to sorted order).
+
+    ``plan_cache`` (a :class:`repro.serve.PlanCache`) memoizes the whole
+    compilation: engines over content-equal structures with the same
+    query/semiring share one compiled circuit and layer schedule, each
+    with its own copy of the mutable update state.  Cacheable engines
+    use deterministic selector names (derived from content + query
+    identity); if those names are already live on the host structure —
+    a second identical engine on the *same* structure — the constructor
+    falls back to unique names and compiles fresh.
     """
 
     def __init__(self, structure: Structure, expr: WExpr, sr: Semiring,
                  dynamic_relations: Sequence[str] = (),
                  free_order: Optional[Sequence[str]] = None,
                  strategy: Optional[str] = None,
-                 optimize: bool = True):
+                 optimize: bool = True,
+                 plan_cache: Optional[Any] = None):
         self.sr = sr
         self.free: Tuple[str, ...] = tuple(
             free_order if free_order is not None else sorted(expr.free_vars()))
@@ -58,9 +69,30 @@ class WeightedQueryEngine:
                              f"expression's free variables")
         self.structure = structure
         self._closed = False
-        tag = next(_ENGINE_COUNTER)
-        self.selectors = [f"{SELECTOR_PREFIX}{tag}_{i}"
-                          for i in range(len(self.free))]
+        if plan_cache is not None:
+            # Cacheable construction needs *deterministic* selector names:
+            # the plan cache keys on the structure's content fingerprint
+            # *after* the selectors are installed, so two engines over
+            # content-equal structures must install identically-named
+            # selectors to share one compiled plan.  Derive the names from
+            # the pre-install content plus the query identity.
+            digest = hashlib.sha256("\x00".join(
+                (structure.fingerprint(), repr(expr), sr.name,
+                 ",".join(self.free), ",".join(sorted(dynamic_relations)),
+                 str(bool(optimize)))).encode()).hexdigest()[:12]
+            self.selectors = [f"{SELECTOR_PREFIX}c{digest}_{i}"
+                              for i in range(len(self.free))]
+            if any(name in structure.weights for name in self.selectors):
+                # Another live engine with the same identity already owns
+                # these names on this very structure.  Fall back to unique
+                # names and bypass the cache for this construction (the
+                # fingerprint now includes the other engine's selectors,
+                # so a lookup could never hit anyway).
+                plan_cache = None
+        if plan_cache is None:
+            tag = next(_ENGINE_COUNTER)
+            self.selectors = [f"{SELECTOR_PREFIX}{tag}_{i}"
+                              for i in range(len(self.free))]
         if self.free:
             for name in self.selectors:
                 for element in structure.domain:
@@ -74,7 +106,7 @@ class WeightedQueryEngine:
         try:
             self.compiled: CompiledQuery = compile_structure_query(
                 structure, closed, dynamic_relations=dynamic_relations,
-                optimize=optimize)
+                optimize=optimize, plan_cache=plan_cache)
             self.dynamic: DynamicQuery = self.compiled.dynamic(
                 sr, strategy=strategy)
         except BaseException:

@@ -1,0 +1,16 @@
+"""Serving layer (system S9): batching, caching and concurrency composed.
+
+``repro.serve`` is the bridge from "fast kernel" to "system under load":
+:class:`QueryService` coalesces concurrent point queries into
+micro-batches dispatched through the vectorized batched evaluator,
+:class:`PlanCache` amortizes one Theorem 6 compilation across engines
+and services, and :class:`ResultCache` memoizes point-query results with
+epoch-precise invalidation driven by the dynamic evaluator's
+touched-gate reporting.
+"""
+
+from .plan_cache import PlanCache
+from .result_cache import MISS, ResultCache
+from .service import QueryService
+
+__all__ = ["QueryService", "PlanCache", "ResultCache", "MISS"]

@@ -1,0 +1,86 @@
+"""Epoch-tagged LRU cache for point-query results.
+
+A point query ``f(a)`` over a fixed engine state is a pure function of
+the argument tuple, so results are cacheable until the state changes.
+Invalidation is driven by :class:`~repro.core.DynamicQuery`'s
+touched-gate reporting: every effective ``update_weight``/``set_relation``
+(one that recomputes at least one gate) advances the service *epoch*,
+and entries are tagged with the epoch they were computed under — a
+lookup at a later epoch misses and evicts the stale entry lazily.  An
+update that touches zero gates (a no-op write of an unchanged value, or
+a write to an input the circuit never reads) provably changes no query
+result and leaves the cache warm.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Tuple
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
+#: legitimate carrier value in user semirings).
+MISS = object()
+
+
+class ResultCache:
+    """Bounded, thread-safe LRU of ``(epoch, value)`` entries."""
+
+    MISS = MISS
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Tuple[int, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+
+    def get(self, key: Hashable, epoch: int) -> Any:
+        """The cached value for ``key`` at ``epoch``, or :data:`MISS`.
+
+        An entry tagged with an older epoch counts as a miss and is
+        evicted on the spot (lazy invalidation: one epoch bump makes the
+        whole cache stale without walking it).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return MISS
+            if entry[0] != epoch:
+                del self._entries[key]
+                self.stale += 1
+                self.misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[1]
+
+    def put(self, key: Hashable, value: Any, epoch: int) -> None:
+        with self._lock:
+            self._entries[key] = (epoch, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"size": len(self._entries), "maxsize": self.maxsize,
+                    "hits": self.hits, "misses": self.misses,
+                    "stale": self.stale}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (f"<ResultCache size={s['size']}/{s['maxsize']} "
+                f"hits={s['hits']} misses={s['misses']} stale={s['stale']}>")

@@ -1,0 +1,325 @@
+"""QueryService: concurrent point queries served by micro-batched sweeps.
+
+The paper's economics are "linear preprocessing, then O_k(1) per
+lookup"; the serving layer turns that into throughput under concurrent
+load.  Client threads call :meth:`QueryService.query` from anywhere; the
+service coalesces concurrent requests into *micro-batches* (bounded by
+``max_batch_size``, with at most ``max_batch_delay`` seconds of
+coalescing latency) and dispatches each batch through
+``CompiledQuery.evaluate_batch`` — one vectorized sweep amortizes the
+per-probe interpreter overhead over the whole batch, which is where a
+naive per-query ``engine.query`` loop spends its time.
+
+Three layers compose here:
+
+* **micro-batching** — a FIFO request queue drained by one dispatcher
+  thread per pool engine; identical argument tuples inside a batch are
+  deduplicated before evaluation;
+* **plan caching** — pool engines are constructed over content-equal
+  snapshots of the host structure through one :class:`PlanCache`, so the
+  Theorem 6 compilation is paid once for the whole pool (and reused by
+  later services over equal content);
+* **result caching** — an epoch-tagged :class:`ResultCache` keyed by
+  argument tuple, invalidated precisely by the touched-gate reporting of
+  ``update_weight``/``set_relation``: only an update that actually
+  recomputes gates advances the epoch.
+
+Updates go through the service (:meth:`update_weight` /
+:meth:`set_relation`), which applies them to every pool engine under a
+lock; batches already in flight may see either state — the usual serving
+semantics.  Use the service as a context manager: ``close()`` drains the
+accepted requests, stops the dispatchers, and closes every engine, which
+strips all selector weights from the host structure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..engine import WeightedQueryEngine
+from ..logic.weighted import WExpr
+from ..semirings import Semiring
+from ..structures import Structure
+from .plan_cache import PlanCache
+from .result_cache import MISS, ResultCache
+
+
+class QueryService:
+    """Serve concurrent point queries of one compiled weighted query.
+
+    ``pool_size`` engines (each with its own dispatcher thread) drain a
+    shared request queue; ``max_batch_size``/``max_batch_delay`` bound
+    each micro-batch's size and coalescing latency; ``backend`` is
+    forwarded to ``evaluate_batch`` (``"auto"`` picks the vectorized
+    NumPy backend when the semiring has an array kernel).
+
+    ``plan_cache`` defaults to a private :class:`PlanCache`; pass a
+    shared instance to reuse compilations across services.  Set
+    ``result_cache_size=0`` to disable result caching.
+    """
+
+    def __init__(self, structure: Structure, expr: WExpr, sr: Semiring,
+                 dynamic_relations: Sequence[str] = (),
+                 free_order: Optional[Sequence[str]] = None,
+                 strategy: Optional[str] = None,
+                 optimize: bool = True,
+                 pool_size: int = 1,
+                 max_batch_size: int = 64,
+                 max_batch_delay: float = 0.002,
+                 backend: str = "auto",
+                 plan_cache: Optional[PlanCache] = None,
+                 result_cache_size: int = 1024):
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.sr = sr
+        self.backend = backend
+        self.max_batch_size = int(max_batch_size)
+        self.max_batch_delay = float(max_batch_delay)
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.result_cache = (ResultCache(result_cache_size)
+                             if result_cache_size else None)
+        # Snapshot the host structure for engines 2..N *before* engine 1
+        # installs its selector weights: all snapshots then share the
+        # host's content fingerprint, so every pool engine resolves to
+        # the same cached plan (one compilation for the whole pool).
+        snapshots = [structure.copy() for _ in range(pool_size - 1)]
+        self.engines: List[WeightedQueryEngine] = []
+        try:
+            for member in [structure] + snapshots:
+                self.engines.append(WeightedQueryEngine(
+                    member, expr, sr, dynamic_relations=dynamic_relations,
+                    free_order=free_order, strategy=strategy,
+                    optimize=optimize, plan_cache=self.plan_cache))
+        except BaseException:
+            for engine in self.engines:
+                engine.close()
+            raise
+        self.free: Tuple[str, ...] = self.engines[0].free
+        self._domain = frozenset(structure.domain)
+        self._epoch = 0
+        self._closed = False
+        # Request intake is a plain list guarded by one condition: a
+        # submit is a single lock-append-notify, and a dispatcher takes a
+        # whole micro-batch in one slice — per-request synchronization is
+        # what a serving hot path cannot afford.
+        self._buffer: List[Tuple[Tuple, "Future", int]] = []
+        self._intake = threading.Condition()
+        self._update_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._batches = 0
+        self._batched_queries = 0
+        self._deduped_queries = 0
+        self._largest_batch = 0
+        self._dispatchers = [
+            threading.Thread(target=self._dispatch_loop, args=(engine,),
+                             name=f"QueryService-dispatch-{index}",
+                             daemon=True)
+            for index, engine in enumerate(self.engines)]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # -- queries ---------------------------------------------------------------
+
+    def submit(self, *arguments) -> "Future":
+        """Enqueue one point query; returns a future for its value.
+
+        Accepts either positional arguments aligned with the free-variable
+        order or a single ``{var: element}`` mapping, like
+        ``WeightedQueryEngine.query``.  A result-cache hit resolves the
+        future immediately without touching the queue.
+        """
+        self._check_open()  # a closed service must reject cache hits too
+        if len(arguments) == 1 and isinstance(arguments[0], dict):
+            assignment = arguments[0]
+            arguments = tuple(assignment[var] for var in self.free)
+        arguments = tuple(arguments)
+        if len(arguments) != len(self.free):
+            raise ValueError(f"expected {len(self.free)} arguments, "
+                             f"got {arguments!r}")
+        for element in arguments:
+            if element not in self._domain:
+                # Validate here, not in the dispatcher: a bad argument
+                # must fail its own caller, not every request that
+                # happened to share its micro-batch.
+                raise KeyError(f"{element!r} is not in the structure's "
+                               f"domain")
+        future: "Future" = Future()
+        epoch = self._epoch
+        if self.result_cache is not None:
+            value = self.result_cache.get(arguments, epoch)
+            if value is not MISS:
+                future.set_result(value)
+                return future
+        with self._intake:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            self._buffer.append((arguments, future, epoch))
+            self._intake.notify()
+        return future
+
+    def query(self, *arguments, timeout: Optional[float] = None) -> Any:
+        """``f(a)``, blocking until its micro-batch is served."""
+        return self.submit(*arguments).result(timeout)
+
+    def query_batch(self, argument_tuples: Sequence[Sequence[Hashable]],
+                    timeout: Optional[float] = None) -> List[Any]:
+        """A caller-assembled batch: submit all, wait for all, in order."""
+        futures = [self.submit(*arguments) for arguments in argument_tuples]
+        return [future.result(timeout) for future in futures]
+
+    # -- micro-batch dispatch ----------------------------------------------------
+
+    def _dispatch_loop(self, engine: WeightedQueryEngine) -> None:
+        while True:
+            with self._intake:
+                while not self._buffer and not self._closed:
+                    self._intake.wait()
+                if not self._buffer:
+                    return  # closed and drained
+                underfull = len(self._buffer) < self.max_batch_size
+            if underfull and self.max_batch_delay > 0 and not self._closed:
+                # Coalesce: give concurrent clients one batching window
+                # to pile on.  A single sleep per batch, not per request.
+                time.sleep(self.max_batch_delay)
+            with self._intake:
+                batch = self._buffer[:self.max_batch_size]
+                del self._buffer[:self.max_batch_size]
+            if batch:
+                self._serve_batch(engine, batch)
+
+    def _serve_batch(self, engine: WeightedQueryEngine, batch: List) -> None:
+        # Concurrent clients often ask for the same hot keys: evaluate
+        # each distinct argument tuple once per batch.
+        groups: Dict[Tuple, List] = {}
+        for arguments, future, epoch in batch:
+            groups.setdefault(arguments, []).append((future, epoch))
+        unique = list(groups)
+        try:
+            results = engine.query_batch(unique, backend=self.backend)
+        except BaseException as error:  # noqa: BLE001 - delivered to callers
+            for waiters in groups.values():
+                for future, _ in waiters:
+                    future.set_exception(error)
+            return
+        with self._stats_lock:
+            self._batches += 1
+            self._batched_queries += len(batch)
+            self._deduped_queries += len(batch) - len(unique)
+            self._largest_batch = max(self._largest_batch, len(batch))
+        current_epoch = self._epoch
+        for arguments, value in zip(unique, results):
+            for future, epoch in groups[arguments]:
+                if self.result_cache is not None and epoch == current_epoch:
+                    # Tagged with the *submit* epoch: if an update landed
+                    # since, the tag is already stale and the entry is
+                    # invisible — results can only be cached too
+                    # conservatively, never served across an update.
+                    self.result_cache.put(arguments, value, epoch)
+                future.set_result(value)
+
+    # -- updates ----------------------------------------------------------------
+
+    def update_weight(self, name: str, tup: Tuple, value: Any) -> int:
+        """Set ``name(tup) = value`` on every pool engine; returns gates
+        touched.  An effective update (touched > 0) advances the epoch,
+        lazily invalidating all cached results; a no-op write keeps the
+        result cache warm."""
+        self._check_open()
+        with self._update_lock:
+            touched = 0
+            for engine in self.engines:
+                touched = max(touched,
+                              engine.update_weight(name, tup, value))
+            if touched:
+                self._epoch += 1
+            return touched
+
+    def set_relation(self, name: str, tup: Tuple, present: bool) -> int:
+        """Gaifman-preserving relation toggle on every pool engine (the
+        Theorem 24 update model); epoch semantics as in
+        :meth:`update_weight`."""
+        self._check_open()
+        with self._update_lock:
+            touched = 0
+            for engine in self.engines:
+                touched = max(touched,
+                              engine.set_relation(name, tup, present))
+            if touched:
+                self._epoch += 1
+            return touched
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("service is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def epoch(self) -> int:
+        """The invalidation epoch (bumped by every effective update)."""
+        return self._epoch
+
+    def close(self) -> None:
+        """Drain in-flight requests, stop the dispatchers, close engines.
+
+        Requests already accepted are served before the dispatchers exit;
+        new submissions raise.  Closing the engines strips all selector
+        weights from the host structure (and the pool snapshots), so a
+        long-lived structure served by many successive services never
+        accumulates weight functions.  Idempotent."""
+        with self._intake:
+            already = self._closed
+            self._closed = True
+            self._intake.notify_all()
+        if already:
+            return
+        for thread in self._dispatchers:
+            thread.join()
+        for engine in self.engines:
+            engine.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters plus the attached caches' statistics."""
+        with self._stats_lock:
+            batches = self._batches
+            info: Dict[str, Any] = {
+                "batches": batches,
+                "batched_queries": self._batched_queries,
+                "deduped_queries": self._deduped_queries,
+                "largest_batch": self._largest_batch,
+                "mean_batch": (round(self._batched_queries / batches, 2)
+                               if batches else 0.0),
+            }
+        # Served queries: every batched request plus every submit-time
+        # result-cache hit (the cache counts those under its own lock).
+        info["queries"] = info["batched_queries"] + (
+            self.result_cache.stats()["hits"]
+            if self.result_cache is not None else 0)
+        info["epoch"] = self._epoch
+        info["pool_size"] = len(self.engines)
+        info["backend"] = self.backend
+        info["plan_cache"] = self.plan_cache.stats()
+        if self.result_cache is not None:
+            info["result_cache"] = self.result_cache.stats()
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<QueryService free={self.free} pool={len(self.engines)} "
+                f"batch<={self.max_batch_size} epoch={self._epoch}>")

@@ -108,6 +108,13 @@ class LabeledForest:
             ordered.extend(by_depth[depth])
         return ordered
 
+    def copy(self) -> "LabeledForest":
+        """An independent forest with the same parents, labels and weights
+        (labels/weights are mutable via ``set_label``/``set_weight``, so a
+        shared compiled plan hands each consumer its own copy)."""
+        return LabeledForest(self.parent, labels=self.labels,
+                             weights=self.weights)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<LabeledForest n={len(self)} height={self.height()} "
                 f"labels={len(self.labels)}>")

@@ -9,6 +9,7 @@ weights of arity > 1 vanish outside the relations — is enforced by
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..graphs import Graph
@@ -29,6 +30,7 @@ class Structure:
         self.weights: Dict[str, Dict[Tup, Any]] = {}
         self._arity: Dict[str, int] = {}
         self._gaifman: Optional[Graph] = None
+        self._fingerprint: Optional[str] = None
         for name, tuples in (relations or {}).items():
             for tup in tuples:
                 self.add_tuple(name, tup)
@@ -39,6 +41,11 @@ class Structure:
             self.weights.setdefault(name, {})
 
     # -- construction ---------------------------------------------------------
+
+    def _touch(self) -> None:
+        """Invalidate content-derived caches after any mutation."""
+        self._gaifman = None
+        self._fingerprint = None
 
     def _check_arity(self, name: str, tup: Tup) -> Tup:
         tup = tuple(tup)
@@ -55,16 +62,16 @@ class Structure:
     def add_tuple(self, relation: str, tup: Tup) -> None:
         tup = self._check_arity(relation, tup)
         self.relations.setdefault(relation, set()).add(tup)
-        self._gaifman = None
+        self._touch()
 
     def remove_tuple(self, relation: str, tup: Tup) -> None:
         self.relations[relation].discard(tuple(tup))
-        self._gaifman = None
+        self._touch()
 
     def set_weight(self, weight: str, tup: Tup, value: Any) -> None:
         tup = self._check_arity(weight, tup)
         self.weights.setdefault(weight, {})[tup] = value
-        self._gaifman = None
+        self._touch()
 
     def remove_weight(self, weight: str, tup: Optional[Tup] = None) -> None:
         """Drop one weight entry, or the whole weight function when
@@ -78,7 +85,7 @@ class Structure:
                 self._arity.pop(weight, None)
         else:
             self.weights[weight].pop(tuple(tup), None)
-        self._gaifman = None
+        self._touch()
 
     # -- queries ---------------------------------------------------------------
 
@@ -98,6 +105,31 @@ class Structure:
         return (len(self.domain)
                 + sum(len(t) for t in self.relations.values())
                 + sum(len(w) for w in self.weights.values()))
+
+    def fingerprint(self) -> str:
+        """A content hash of the structure: domain, relations, and weights
+        (weight values via ``repr``, which every shipped carrier renders
+        deterministically).  Two structures with equal fingerprints are
+        interchangeable inputs to ``compile_structure_query``, which is
+        what the compile-plan cache keys on.  Cached after the first call
+        and invalidated by every mutation, like :meth:`gaifman`."""
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            for element in self.domain:
+                hasher.update(repr(element).encode())
+                hasher.update(b"\x00")
+            for name in sorted(self.relations):
+                hasher.update(b"\x01" + name.encode())
+                for tup in sorted(self.relations[name], key=repr):
+                    hasher.update(repr(tup).encode())
+            for name in sorted(self.weights):
+                hasher.update(b"\x02" + name.encode())
+                mapping = self.weights[name]
+                for tup in sorted(mapping, key=repr):
+                    hasher.update(repr(tup).encode())
+                    hasher.update(repr(mapping[tup]).encode())
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     # -- the Gaifman graph -------------------------------------------------------
 

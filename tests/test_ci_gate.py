@@ -1,0 +1,59 @@
+"""The CI perf-regression gate's comparison logic (benchmarks/ci_smoke.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CI_SMOKE = os.path.join(HERE, os.pardir, "benchmarks", "ci_smoke.py")
+
+spec = importlib.util.spec_from_file_location("ci_smoke", CI_SMOKE)
+ci_smoke = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(ci_smoke)
+
+
+def report(**seconds):
+    return {"benches": [{"bench": name, "seconds": value}
+                        for name, value in seconds.items()]}
+
+
+class TestCompareToBaseline:
+    def test_within_bounds_passes(self):
+        failures, notes = ci_smoke.compare_to_baseline(
+            report(a=1.1, b=2.0), report(a=1.0, b=2.0),
+            max_regression=0.25, grace=0.25)
+        assert failures == [] and notes == []
+
+    def test_25_percent_regression_fails(self):
+        # 10s -> 13s is +30%: past the 25% bound even with grace.
+        failures, _ = ci_smoke.compare_to_baseline(
+            report(a=13.0), report(a=10.0),
+            max_regression=0.25, grace=0.25)
+        assert len(failures) == 1 and "a" in failures[0]
+
+    def test_grace_shields_subsecond_noise(self):
+        # 0.2s -> 0.4s is +100% but within the absolute grace window.
+        failures, _ = ci_smoke.compare_to_baseline(
+            report(a=0.4), report(a=0.2),
+            max_regression=0.25, grace=0.25)
+        assert failures == []
+
+    def test_new_and_removed_benches_are_notes_not_failures(self):
+        failures, notes = ci_smoke.compare_to_baseline(
+            report(new_bench=5.0), report(old_bench=1.0),
+            max_regression=0.25, grace=0.25)
+        assert failures == []
+        assert any("new_bench" in note for note in notes)
+        assert any("old_bench" in note for note in notes)
+
+
+class TestBaselineForBackend:
+    def test_plain_report_form(self):
+        plain = report(a=1.0)
+        assert ci_smoke.baseline_for_backend(plain, "numpy") is plain
+
+    def test_backend_keyed_form(self):
+        data = {"numpy": report(a=1.0), "python": report(a=2.0)}
+        assert ci_smoke.baseline_for_backend(data, "python") == report(a=2.0)
+        assert ci_smoke.baseline_for_backend(data, "pypy") is None
