@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Examples smoke runner: every examples/*.py must run end to end, and
+none may lean on a deprecated entry point.
+
+``DeprecationWarning``s attributed to the example itself (``__main__``)
+or to any repo module (``repro`` and submodules — ``filterwarnings``
+module patterns are prefix regexes, unlike the exact-match ``-W``
+command-line form) are promoted to errors; third-party warnings stay
+warnings.  Exits nonzero if any example fails.
+
+Usage:  PYTHONPATH=src python .github/scripts/run_examples.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import runpy
+import sys
+import traceback
+import warnings
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def main() -> int:
+    status = 0
+    examples = sorted(glob.glob(os.path.join(REPO, "examples", "*.py")))
+    if not examples:
+        print("no examples found", file=sys.stderr)
+        return 1
+    for path in examples:
+        name = os.path.relpath(path, REPO)
+        print(f"== {name}", flush=True)
+        with warnings.catch_warnings():
+            warnings.filterwarnings("error", category=DeprecationWarning,
+                                    module=r"__main__")
+            warnings.filterwarnings("error", category=DeprecationWarning,
+                                    module=r"repro")
+            try:
+                runpy.run_path(path, run_name="__main__")
+            except Exception:
+                traceback.print_exc()
+                print(f"FAILED: {name}", flush=True)
+                status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

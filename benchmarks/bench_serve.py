@@ -1,11 +1,12 @@
-"""E-S1: serving throughput — micro-batched QueryService vs per-query loop.
+"""E-S1: serving throughput — micro-batched serving vs per-query loop.
 
-A 32-thread point-query load is driven through :class:`repro.serve.
-QueryService` (micro-batching through ``evaluate_batch``) and compared
-against the naive baseline: the same number of point queries answered by
-a sequential per-query ``engine.query`` loop (the Theorem 8 selector
-protocol, one dynamic update pass per probe).  Acceptance: the service
-sustains >= 3x the naive queries/sec on the numpy backend at full size.
+A 32-thread point-query load is driven through the facade's
+``Database.serve`` (micro-batching through ``evaluate_batch``) and
+compared against the naive baseline: the same number of point queries
+answered by sequential ``bind(...).value(...)`` calls with result
+caching disabled (the Theorem 8 selector protocol, one dynamic update
+pass per probe).  Acceptance: the service sustains >= 3x the naive
+queries/sec on the numpy backend at full size.
 
 Axes reported:
 
@@ -13,7 +14,7 @@ Axes reported:
   ``backend="numpy"`` (queries/sec each);
 * result cache — the headline numbers run with the result cache
   disabled (micro-batching only); a cached row shows the steady-state
-  effect of the epoch-tagged LRU on a repeating probe mix.
+  effect of the shared epoch-tagged LRU on a repeating probe mix.
 
 ``REPRO_BENCH_FAST=1`` shrinks the workload (assertions are skipped);
 ``REPRO_BACKEND=python`` drops the numpy rows (the no-numpy CI leg).
@@ -25,9 +26,8 @@ import os
 import random
 import threading
 
-from repro import FLOAT, Atom, Bracket, Sum, Weight, WeightedQueryEngine
+from repro import FLOAT, Atom, Bracket, Database, Sum, Weight
 from repro.circuits import HAVE_NUMPY
-from repro.serve import QueryService
 
 from common import report, timed, triangle_workload
 
@@ -63,11 +63,11 @@ def serving_workload(side: int):
     return structure, schedules
 
 
-def run_naive_loop(engine, schedules):
+def run_naive_loop(query, schedules):
     """The baseline: every probe through the per-query selector protocol.
     (Compilation is paid outside the timed region on both paths — the
     paper's amortized-preprocessing model.)"""
-    return {probe: engine.query(probe)
+    return {probe: query.bind(probe).value(FLOAT)
             for schedule in schedules for probe in schedule}
 
 
@@ -104,42 +104,47 @@ def test_service_throughput_vs_per_query_loop(capsys):
     structure, schedules = serving_workload(SIDE)
     total = sum(len(schedule) for schedule in schedules)
 
-    with WeightedQueryEngine(structure.copy(), DEGREE, FLOAT) as engine:
-        expected = run_naive_loop(engine, schedules)  # warm + reference
+    # result_cache_size=0: the naive loop must pay the selector protocol
+    # per probe, not serve memoized repeats.
+    with Database(structure.copy(), result_cache_size=0) as db:
+        query = db.prepare(DEGREE)
+        expected = run_naive_loop(query, schedules)  # warm + reference
         naive_rate, naive_time = best_rate(
-            lambda: run_naive_loop(engine, schedules), total)
+            lambda: run_naive_loop(query, schedules), total)
 
-    # Correctness: the service answers what the engine answers.
-    with QueryService(structure.copy(), DEGREE, FLOAT, backend="auto",
-                      max_batch_size=MAX_BATCH, max_batch_delay=MAX_DELAY,
-                      result_cache_size=0) as service:
-        for probe in list(expected)[:10]:
-            assert FLOAT.eq(service.query(probe), expected[probe])
+    # Correctness: the service answers what the point queries answer.
+    with Database(structure.copy(), result_cache_size=0,
+                  max_batch_size=MAX_BATCH,
+                  max_batch_delay=MAX_DELAY) as db:
+        with db.serve(DEGREE, FLOAT, backend="auto") as service:
+            for probe in list(expected)[:10]:
+                assert FLOAT.eq(service.query(probe), expected[probe])
 
-    rows = [["engine.query loop", round(naive_time, 4),
+    rows = [["bind().value() loop", round(naive_time, 4),
              int(naive_rate), 1.0]]
     rates = {}
     backends = ["python"] + (["numpy"] if NUMPY_OK else [])
     for backend in backends:
-        with QueryService(structure.copy(), DEGREE, FLOAT,
-                          backend=backend, max_batch_size=MAX_BATCH,
-                          max_batch_delay=MAX_DELAY,
-                          result_cache_size=0) as service:
-            drive_service(service, schedules)  # warm pass
-            rate, elapsed = best_rate(
-                lambda: drive_service(service, schedules), total)
+        with Database(structure.copy(), result_cache_size=0,
+                      max_batch_size=MAX_BATCH,
+                      max_batch_delay=MAX_DELAY) as db:
+            with db.serve(DEGREE, FLOAT, backend=backend) as service:
+                drive_service(service, schedules)  # warm pass
+                rate, elapsed = best_rate(
+                    lambda: drive_service(service, schedules), total)
         rates[backend] = rate
         rows.append([f"service ({backend})", round(elapsed, 4), int(rate),
                      round(rate / naive_rate, 2)])
 
-    # Steady-state with the result cache on (same probe mix repeats).
-    with QueryService(structure.copy(), DEGREE, FLOAT,
-                      backend="auto" if NUMPY_OK else "python",
-                      max_batch_size=MAX_BATCH, max_batch_delay=MAX_DELAY,
-                      result_cache_size=4096) as service:
-        drive_service(service, schedules)  # cold pass fills the cache
-        _, warm_time = timed(drive_service, service, schedules)
-        cached_stats = service.stats()
+    # Steady-state with the shared result cache on (probe mix repeats).
+    with Database(structure.copy(), result_cache_size=4096,
+                  max_batch_size=MAX_BATCH,
+                  max_batch_delay=MAX_DELAY) as db:
+        with db.serve(DEGREE, FLOAT,
+                      backend="auto" if NUMPY_OK else "python") as service:
+            drive_service(service, schedules)  # cold pass fills the cache
+            _, warm_time = timed(drive_service, service, schedules)
+            cached_stats = service.stats()
     rows.append(["service (cached)", round(warm_time, 4),
                  int(total / warm_time) if warm_time else 0,
                  round(total / warm_time / naive_rate, 2) if warm_time
@@ -155,7 +160,7 @@ def test_service_throughput_vs_per_query_loop(capsys):
         speedup = rates["numpy"] / naive_rate
         assert speedup >= 3.0, (
             f"micro-batched service only {speedup:.2f}x the per-query "
-            f"engine.query loop on the numpy backend (target: 3x)")
+            f"bind().value() loop on the numpy backend (target: 3x)")
 
 
 def test_plan_cache_amortizes_pool_compiles(capsys):
@@ -164,31 +169,32 @@ def test_plan_cache_amortizes_pool_compiles(capsys):
     structure, _ = serving_workload(6 if FAST else 10)
 
     def build_pool():
-        with QueryService(structure.copy(), DEGREE, FLOAT,
-                          pool_size=4) as service:
-            return service.plan_cache.stats()
+        with Database(structure.copy()) as db:
+            with db.serve(DEGREE, FLOAT, pool_size=4):
+                return db.plan_cache.stats()
 
     stats, elapsed = timed(build_pool)
 
     def build_loose():
-        engines = [WeightedQueryEngine(structure.copy(), DEGREE, FLOAT)
-                   for _ in range(4)]
-        for engine in engines:
-            engine.close()
+        # Four independent databases: no shared plan cache, 4 compiles.
+        for _ in range(4):
+            with Database(structure.copy()) as db:
+                db.prepare(DEGREE).bind(structure.domain[0]).value(FLOAT)
 
     _, loose_elapsed = timed(build_loose)
     with capsys.disabled():
         report("E-S2: pool construction, shared plan vs 4 compiles (seconds)",
                ["path", "time"],
                [["pool_size=4 (plan cache)", round(elapsed, 4)],
-                ["4 independent engines", round(loose_elapsed, 4)]])
+                ["4 independent databases", round(loose_elapsed, 4)]])
     assert stats["misses"] == 1 and stats["hits"] == 3
 
 
 def test_service_sweep(benchmark):
     structure, schedules = serving_workload(6 if FAST else 12)
-    with QueryService(structure.copy(), DEGREE, FLOAT,
-                      backend="auto" if NUMPY_OK else "python",
-                      max_batch_size=MAX_BATCH, max_batch_delay=MAX_DELAY,
-                      result_cache_size=0) as service:
-        benchmark(lambda: drive_service(service, schedules[:4]))
+    with Database(structure.copy(), result_cache_size=0,
+                  max_batch_size=MAX_BATCH,
+                  max_batch_delay=MAX_DELAY) as db:
+        with db.serve(DEGREE, FLOAT,
+                      backend="auto" if NUMPY_OK else "python") as service:
+            benchmark(lambda: drive_service(service, schedules[:4]))

@@ -3,15 +3,16 @@
 The current independent set S is a unary predicate; the improvement rule
 "x can join S" is a quantifier-free condition maintained under the unary
 updates of Theorem 24.  Each round costs constant time: pull one witness
-from the enumerator, flip S(x), update the neighborhood markers.  The whole
-search is linear — the observation that (with larger radius) yields the
-EPTAS of Har-Peled & Quanrud on polynomial-expansion classes.
+from the enumerator (obtained from the facade via
+``db.prepare(formula, ...).enumerate()``), flip S(x), update the
+neighborhood markers.  The whole search is linear — the observation that
+(with larger radius) yields the EPTAS of Har-Peled & Quanrud on
+polynomial-expansion classes.
 
-Run: python examples/local_search_mis.py
+Run: PYTHONPATH=src python examples/local_search_mis.py
 """
 
-from repro import Atom, graph_structure, triangulated_grid
-from repro.enumeration import AnswerEnumerator
+from repro import Atom, Database, graph_structure, triangulated_grid
 
 
 def main():
@@ -22,16 +23,20 @@ def main():
         structure.relations.setdefault(name, set())
         structure._arity.setdefault(name, 1)
     addable = ~Atom("S", ("x",)) & ~Atom("T", ("x",))
-    enumerator = AnswerEnumerator(structure, addable, free_order=("x",),
-                                  dynamic_relations=("S", "T"))
 
-    independent = []
-    while enumerator.has_answers():
-        (vertex,) = next(iter(enumerator))
-        independent.append(vertex)
-        enumerator.set_relation("S", (vertex,), True)
-        for neighbor in graph.neighbors(vertex):
-            enumerator.set_relation("T", (neighbor,), True)
+    with Database(structure) as db:
+        # The enumerator owns a content snapshot; its dynamics are the
+        # constant-time support flips of Theorem 24.
+        enumerator = db.prepare(addable, params=("x",),
+                                dynamic=("S", "T")).enumerate()
+
+        independent = []
+        while enumerator.has_answers():
+            (vertex,) = next(iter(enumerator))
+            independent.append(vertex)
+            enumerator.set_relation("S", (vertex,), True)
+            for neighbor in graph.neighbors(vertex):
+                enumerator.set_relation("T", (neighbor,), True)
 
     chosen = set(independent)
     assert all(not (set(graph.neighbors(v)) & chosen) for v in chosen)

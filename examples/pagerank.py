@@ -5,15 +5,16 @@
 with wl(y) = w(y)/outdeg(y) stored as a weight (the paper's trick to avoid
 division).  Theorem 8 gives a data structure with constant-time point
 queries and constant-time updates in the ring of rationals — we run full
-power iteration through it and cross-check against a direct computation.
+power iteration through the facade's bound point queries and routed
+updates, and cross-check against a direct computation.
 
-Run: python examples/pagerank.py
+Run: PYTHONPATH=src python examples/pagerank.py
 """
 
 from fractions import Fraction
 
-from repro import Atom, Bracket, RATIONAL, Sum, WConst, Weight, graph_structure
-from repro.engine import WeightedQueryEngine
+from repro import (Atom, Bracket, Database, RATIONAL, Sum, WConst, Weight,
+                   graph_structure)
 from repro.graphs import triangulated_grid
 
 
@@ -30,14 +31,17 @@ def main():
     E = lambda x, y: Atom("E", (x, y))
     one_round = WConst(Fraction(1 - damping, n)) + WConst(damping) * Sum(
         "y", Bracket(E("y", "x")) * Weight("wl", ("y",)))
-    engine = WeightedQueryEngine(structure, one_round, RATIONAL)
-    print(f"engine: {engine.stats()['gates']} gates over n={n}")
 
-    for iteration in range(8):
-        new_rank = {v: engine.query(v) for v in nodes}
-        for v in nodes:  # feed the next round: constant-time updates
-            engine.update_weight("wl", (v,), new_rank[v] / graph.degree(v))
-        rank = new_rank
+    with Database(structure) as db:
+        query = db.prepare(one_round, params=("x",))
+        for iteration in range(8):
+            new_rank = {v: query.bind(v).value(RATIONAL) for v in nodes}
+            if iteration == 0:
+                print(f"engine: {query.stats()['gates']} gates over n={n}")
+            with db.update() as tx:  # feed the next round: routed updates
+                for v in nodes:
+                    tx.set_weight("wl", (v,), new_rank[v] / graph.degree(v))
+            rank = new_rank
 
     # Reference: direct power iteration.
     reference = {v: Fraction(1, n) for v in nodes}

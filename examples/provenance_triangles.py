@@ -3,13 +3,13 @@
 For φ(x) = ∃y,z E(x,y) ∧ E(y,z) ∧ E(z,x) on the 4-vertex graph with edges
 ab, bc, ca, bd, da, the provenance of `a` is e_ab·e_bc·e_ca + e_ab·e_bd·e_da
 — exactly the two triangles through `a`.  Theorem 22 produces this as a
-constant-delay enumerator, never materializing the polynomial.
+constant-delay enumerator (via ``db.prepare(...).enumerate()``), never
+materializing the polynomial.
 
-Run: python examples/provenance_triangles.py
+Run: PYTHONPATH=src python examples/provenance_triangles.py
 """
 
-from repro import Structure, Sum, Weight
-from repro.enumeration import ProvenanceEnumerator
+from repro import Database, Structure, Sum, Weight
 
 
 def main():
@@ -25,15 +25,16 @@ def main():
     expr = Sum("x", Weight("sel", ("x",)) * Sum(
         ("y", "z"), w("x", "y") * w("y", "z") * w("z", "x")))
 
-    prov = ProvenanceEnumerator(structure, expr)
-    print("provenance of phi(a):")
-    for monomial in prov.monomials():
-        print("   ", " * ".join(monomial))
+    with Database(structure) as db:
+        prov = db.prepare(expr).enumerate()
+        print("provenance of phi(a):")
+        for monomial in prov.monomials():
+            print("   ", " * ".join(monomial))
 
-    print("\nafter deleting edge (d, a):")
-    prov.update_weight("w", ("d", "a"), [])
-    for monomial in prov.monomials():
-        print("   ", " * ".join(monomial))
+        print("\nafter deleting edge (d, a):")
+        prov.update_weight("w", ("d", "a"), [])
+        for monomial in prov.monomials():
+            print("   ", " * ".join(monomial))
 
 
 if __name__ == "__main__":

@@ -2,14 +2,18 @@
 
 Compiles the weighted out-degree query f(x) = Σ_y [E(x,y)] * w(x,y)
 over a triangulated grid once, then serves it to 16 concurrent client
-threads through :class:`repro.serve.QueryService`:
+threads through the unified facade's :meth:`repro.api.Database.serve`:
 
 * concurrent ``service.query(v)`` calls coalesce into micro-batches
   evaluated by one vectorized sweep each;
-* repeated probes hit the epoch-tagged result cache until an update
-  with observable effect (touched gates > 0) advances the epoch;
-* a second service over the same data reuses the compiled plan from the
-  shared :class:`repro.serve.PlanCache` instead of recompiling.
+* repeated probes hit the database's shared epoch-tagged result cache
+  until an update with observable effect (touched gates > 0) advances
+  the epoch;
+* a second service over the same data reuses the compiled plan from
+  the database's shared plan cache instead of recompiling;
+* updates go through ``db.update()``, which routes them into every
+  live service and cache — the stale-cache bug class is structurally
+  impossible.
 
 Run with:  PYTHONPATH=src python examples/serve_demo.py
 """
@@ -18,9 +22,8 @@ import random
 import threading
 import time
 
-from repro import Atom, Bracket, FLOAT, Sum, Weight, graph_structure, \
-    triangulated_grid
-from repro.serve import PlanCache, QueryService
+from repro import Atom, Bracket, Database, FLOAT, Sum, Weight, \
+    graph_structure, triangulated_grid
 
 E = lambda x, y: Atom("E", (x, y))
 w = lambda x, y: Weight("w", (x, y))
@@ -54,46 +57,48 @@ def drive(service, structure, threads=16, queries=200):
 
 def main():
     structure = build_structure()
-    plans = PlanCache()
 
-    with QueryService(structure, DEGREE, FLOAT, plan_cache=plans,
-                      max_batch_size=128, max_batch_delay=0.001) as service:
-        probe = structure.domain[5]
-        print(f"f({probe}) = {service.query(probe)}")
+    with Database(structure, max_batch_size=128,
+                  max_batch_delay=0.001) as db:
+        with db.serve(DEGREE, FLOAT) as service:
+            probe = structure.domain[5]
+            print(f"f({probe}) = {service.query(probe)}")
 
-        qps = drive(service, structure)
-        stats = service.stats()
-        print(f"\n16 concurrent clients: {qps:,.0f} queries/sec")
-        print(f"micro-batches: {stats['batches']} "
-              f"(mean size {stats['mean_batch']}, "
-              f"largest {stats['largest_batch']}, "
-              f"{stats['deduped_queries']} deduplicated)")
-        print(f"result cache: {stats['result_cache']}")
+            qps = drive(service, structure)
+            stats = service.stats()
+            print(f"\n16 concurrent clients: {qps:,.0f} queries/sec")
+            print(f"micro-batches: {stats['batches']} "
+                  f"(mean size {stats['mean_batch']}, "
+                  f"largest {stats['largest_batch']}, "
+                  f"{stats['deduped_queries']} deduplicated)")
+            print(f"result cache: {stats['result_cache']}")
 
-    # The plan survives the service: as long as the data content is
-    # unchanged, a new service skips compilation entirely.
-    start = time.perf_counter()
-    with QueryService(structure, DEGREE, FLOAT, plan_cache=plans) as service:
-        service.query(probe)
-    print(f"\nsecond service start+first query: "
-          f"{time.perf_counter() - start:.3f}s "
-          f"(plan cache: {plans.stats()})")
+        # The plan survives the service: as long as the data content is
+        # unchanged, a new service skips compilation entirely (the
+        # database's plan cache is shared across everything it creates).
+        start = time.perf_counter()
+        with db.serve(DEGREE, FLOAT) as service:
+            service.query(probe)
+        print(f"\nsecond service start+first query: "
+              f"{time.perf_counter() - start:.3f}s "
+              f"(plan cache: {db.plan_cache.stats()})")
 
-    with QueryService(structure, DEGREE, FLOAT, plan_cache=plans) as service:
-        # A weight update invalidates results precisely: the epoch only
-        # advances because the update actually recomputed gates.  (It
-        # also changes the structure's content fingerprint, so the next
-        # service compiles a fresh plan for the new content.)
-        edge = sorted(structure.relations["E"])[0]
-        touched = service.update_weight("w", edge, 100.0)
-        print(f"\nupdate_weight{edge} touched {touched} gates "
-              f"-> epoch {service.epoch}")
-        print(f"f({edge[0]}) = {service.query(edge[0])}  (recomputed)")
+        with db.serve(DEGREE, FLOAT) as service:
+            # A routed weight update invalidates results precisely: the
+            # epoch only advances because the update actually recomputed
+            # gates inside the service's engines.
+            edge = sorted(structure.relations["E"])[0]
+            with db.update() as tx:
+                touched = tx.set_weight("w", edge, 100.0)
+            print(f"\nupdate_weight{edge} touched {touched} gates "
+                  f"-> service epoch {service.epoch}")
+            print(f"f({edge[0]}) = {service.query(edge[0])}  (recomputed)")
 
-        # A write of the same value touches nothing and keeps the cache.
-        touched = service.update_weight("w", edge, 100.0)
-        print(f"same-value update touched {touched} gates "
-              f"-> epoch {service.epoch} (cache kept)")
+            # A write of the same value touches nothing, keeps the cache.
+            with db.update() as tx:
+                touched = tx.set_weight("w", edge, 100.0)
+            print(f"same-value update touched {touched} gates "
+                  f"-> service epoch {service.epoch} (cache kept)")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,7 @@ weighted queries over bounded-expansion structures, with applications to
 evaluation (Thm 8), provenance (Thm 22), constant-delay enumeration
 (Thm 24) and nested multi-semiring aggregation (Thm 26).
 
-Quickstart::
+Quickstart (the unified ``repro.api`` facade)::
 
     from repro import *
     s = graph_structure(triangulated_grid(8, 8))
@@ -16,11 +16,14 @@ Quickstart::
     tri = Sum(("x", "y", "z"),
               Bracket(E("E", ("x","y")) & E("E", ("y","z")) & E("E", ("z","x")))
               * w("w", ("x","y")) * w("w", ("y","z")) * w("w", ("z","x")))
-    print(compile_structure_query(s, tri).evaluate(NATURAL))
+    with Database(s) as db:
+        print(db.prepare(tri).value(NATURAL))
 """
 
-from . import (algebra, baselines, circuits, core, engine, enumeration, fog,
-               graphs, logic, qe, semirings, serve, structures)
+from . import (algebra, api, baselines, circuits, core, engine, enumeration,
+               fog, graphs, logic, qe, semirings, serve, structures)
+from .api import (BoundQuery, Database, ExecOptions, MaintainedQuery,
+                  PreparedQuery, UpdateContext)
 from .circuits import (HAVE_NUMPY, BatchedEvaluator, LayerSchedule,
                        OptimizeResult, StaticEvaluator, VectorizedEvaluator,
                        build_schedule, optimize_circuit)
@@ -42,6 +45,8 @@ from .structures import LabeledForest, Signature, Structure, graph_structure
 __version__ = "1.0.0"
 
 __all__ = [
+    "Database", "PreparedQuery", "BoundQuery", "MaintainedQuery",
+    "UpdateContext", "ExecOptions",
     "compile_structure_query", "CompiledQuery", "DynamicQuery",
     "plan_cache_key",
     "QueryService", "PlanCache", "ResultCache",

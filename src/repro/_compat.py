@@ -1,0 +1,27 @@
+"""Deprecation plumbing for the pre-``repro.api`` entry points.
+
+PR 4 unified the four historical entry points (``compile_structure_query``
+/ ``CompiledQuery``, ``CompiledQuery.dynamic`` / ``DynamicQuery``,
+``WeightedQueryEngine``, ``QueryService``) behind the
+:class:`repro.api.Database` facade.  The old seams keep working as thin
+delegating shims that emit exactly one :class:`DeprecationWarning` per
+use; all internal code (the facade itself, the serving layer, fog,
+enumeration) reaches the implementations through private constructors
+that bypass the warning, so a migrated program is warning-free.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the one shared deprecation warning for an old entry point.
+
+    ``stacklevel`` defaults to 3 so the warning is attributed to the
+    *caller* of the deprecated seam (the shims add one frame each).
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see the repro.api facade and the "
+        f"README migration table)",
+        DeprecationWarning, stacklevel=stacklevel)

@@ -1,0 +1,31 @@
+"""repro.api: the unified query facade (PR 4).
+
+One :class:`Database` handle over a structure unifies what previously
+took four entry points (``compile_structure_query``/``CompiledQuery``,
+``DynamicQuery``, ``WeightedQueryEngine``, ``QueryService``)::
+
+    from repro.api import Database
+
+    with Database(structure) as db:
+        q = db.prepare(expr)                 # weighted expr or FO formula
+        q.value(NATURAL)                     # static value (closed)
+        q.batch(valuations, NATURAL)         # batched what-ifs
+        q.bind(x=a).value(NATURAL)           # cached point query
+        m = q.maintain(NATURAL); m.value()   # maintained under updates
+        q.enumerate()                        # constant-delay enumeration
+        svc = db.serve(expr, NATURAL)        # micro-batched service
+        with db.update() as tx:              # routed, cache-coherent
+            tx.set_weight("w", edge, 3)
+
+All execution knobs live in one :class:`ExecOptions`; compilations are
+shared through the database's plan cache, point-query results through
+its epoch-tagged result cache, and worker sharding through its one
+thread pool.
+"""
+
+from .database import Database, UpdateContext
+from .options import ExecOptions
+from .prepared import BoundQuery, MaintainedQuery, PreparedQuery
+
+__all__ = ["Database", "PreparedQuery", "BoundQuery", "MaintainedQuery",
+           "UpdateContext", "ExecOptions"]

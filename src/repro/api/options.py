@@ -1,0 +1,82 @@
+"""ExecOptions: every execution knob of the stack, resolved once.
+
+Before the facade, each entry point grew its own kwargs — ``backend`` /
+``workers`` on the batched evaluators, ``optimize`` / ``plan_cache`` on
+the compiler, pool/batching/cache knobs on the serving layer — with
+validation scattered (or missing) per seam.  :class:`ExecOptions`
+consolidates them into one frozen dataclass validated eagerly at
+construction; a :class:`~repro.api.Database` resolves one instance as
+its default, and every ``prepare``/``serve`` call may derive a variant
+with :meth:`ExecOptions.merged`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from ..circuits import validate_backend
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """Execution options shared by every mode of the unified query API.
+
+    ``backend``
+        Batched-evaluation substrate: ``"auto"`` (numpy when the
+        semiring has an array kernel), ``"python"``, or ``"numpy"``.
+        Validated here — eagerly — with the one shared error message.
+    ``workers``
+        Shard batched sweeps across this many tasks on the database's
+        shared worker pool (``None`` = serial).
+    ``optimize``
+        Run the circuit-optimizer pass pipeline after compilation.
+    ``strategy``
+        Dynamic-evaluator strategy for maintained handles.
+    ``pool_size`` / ``max_batch_size`` / ``max_batch_delay``
+        Serving knobs forwarded to :meth:`repro.api.Database.serve`.
+    ``plan_cache_size`` / ``result_cache_size``
+        Capacities of the database-owned shared caches (a
+        ``result_cache_size`` of 0 disables result caching).
+    """
+
+    backend: str = "auto"
+    workers: Optional[int] = None
+    optimize: bool = True
+    strategy: Optional[str] = None
+    pool_size: int = 1
+    max_batch_size: int = 64
+    max_batch_delay: float = 0.002
+    plan_cache_size: int = 32
+    result_cache_size: int = 1024
+
+    def __post_init__(self) -> None:
+        validate_backend(self.backend)
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for serial)")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_batch_delay < 0:
+            raise ValueError("max_batch_delay must be >= 0")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be >= 1")
+        if self.result_cache_size < 0:
+            raise ValueError("result_cache_size must be >= 0")
+
+    def merged(self, **overrides) -> "ExecOptions":
+        """A copy with ``overrides`` applied (and re-validated).
+
+        Unknown option names fail loudly — a typo'd knob must not be
+        silently ignored.
+        """
+        if not overrides:
+            return self
+        known = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise TypeError(f"unknown execution option(s): "
+                            f"{', '.join(unknown)}; known options: "
+                            f"{', '.join(sorted(known))}")
+        return replace(self, **overrides)

@@ -1,5 +1,6 @@
 """Circuits with permanent gates (system S6)."""
 
+from .backends import VALID_BACKENDS, validate_backend
 from .evaluation import (BatchedEvaluator, DynamicEvaluator, StaticEvaluator,
                          Valuation, valuation_from_dict)
 from .gates import (AddGate, Circuit, CircuitBuilder, ConstGate, GateId,
@@ -19,7 +20,7 @@ __all__ = [
     "valuation_from_dict", "Valuation",
     "LayerSchedule", "Layer", "GateGroup", "build_schedule",
     "VectorizedEvaluator", "ArrayKernel", "kernel_for", "register_kernel",
-    "HAVE_NUMPY",
+    "HAVE_NUMPY", "validate_backend", "VALID_BACKENDS",
     "optimize_circuit", "OptimizeResult", "RewritePass",
     "ConstantFoldPass", "FlattenPass", "CommonSubexpressionPass",
     "PASSES", "DEFAULT_PIPELINE",

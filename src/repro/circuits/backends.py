@@ -1,0 +1,26 @@
+"""The batched-evaluation backend axis, validated in one place.
+
+Every layer that accepts a ``backend`` string — ``CompiledQuery.
+evaluate_batch``, ``WeightedQueryEngine.query_batch``, ``QueryService``,
+and :class:`repro.api.ExecOptions` — validates it through
+:func:`validate_backend`, so a typo fails eagerly at the first seam it
+crosses with one consistent error message instead of surfacing later
+(or never) deep inside a dispatcher thread.
+"""
+
+from __future__ import annotations
+
+#: The recognised values of every ``backend=`` parameter.
+VALID_BACKENDS = ("auto", "python", "numpy")
+
+
+def validate_backend(backend: str) -> str:
+    """Validate a ``backend`` string; returns it unchanged.
+
+    Raises :class:`ValueError` with the shared message used across the
+    whole API surface.
+    """
+    if backend not in VALID_BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected "
+                         f"'auto', 'python' or 'numpy'")
+    return backend

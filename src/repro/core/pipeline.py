@@ -23,10 +23,11 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from .._compat import warn_deprecated
 from ..circuits import (HAVE_NUMPY, BatchedEvaluator, Circuit, CircuitBuilder,
                         DynamicEvaluator, LayerSchedule, StaticEvaluator,
                         VectorizedEvaluator, build_schedule, kernel_for,
-                        optimize_circuit)
+                        optimize_circuit, validate_backend)
 from ..graphs import low_treedepth_coloring
 from ..logic import Block, normalize
 from ..logic.weighted import WExpr
@@ -34,6 +35,18 @@ from ..semirings import Semiring
 from ..structures import LabeledForest, Structure
 from .forest_compiler import ForestCompiler
 from .stages import color_blocks, forest_from_structure
+
+
+def _non_clique_pair(gaifman, tup: Tuple) -> Optional[Tuple]:
+    """The first pair of distinct elements of ``tup`` *not* adjacent in
+    the Gaifman graph, or ``None`` when the tuple is a clique — the
+    Theorem 24 update-model condition."""
+    distinct = list(dict.fromkeys(tup))
+    for i, a in enumerate(distinct):
+        for b in distinct[i + 1:]:
+            if not gaifman.has_edge(a, b):
+                return (a, b)
+    return None
 
 
 @dataclass
@@ -114,7 +127,8 @@ class CompiledQuery:
 
     def evaluate_batch(self, sr: Semiring, valuations: Sequence[Any],
                        backend: str = "auto",
-                       workers: Optional[int] = None) -> List[Any]:
+                       workers: Optional[int] = None,
+                       executor: Optional[Any] = None) -> List[Any]:
         """Evaluate the circuit under N valuations in one batched pass.
 
         Each element of ``valuations`` is either a mapping of input keys
@@ -135,10 +149,14 @@ class CompiledQuery:
         reductions release the GIL (the ``float64`` carriers: floats and
         the tropical family); object-dtype kernels (``N``/``Z``/``Q``)
         and the pure-Python backend serialize on the GIL.
+
+        ``executor`` lends an existing ``concurrent.futures`` executor
+        for the ``workers`` sharding instead of constructing (and tearing
+        down) a fresh thread pool per call — the hot-path form used by
+        :class:`repro.api.Database`, which owns one pool for its whole
+        lifetime.  The executor is not shut down here.
         """
-        if backend not in ("auto", "python", "numpy"):
-            raise ValueError(f"unknown backend {backend!r}; expected "
-                             f"'auto', 'python' or 'numpy'")
+        validate_backend(backend)
         valuations = list(valuations)
         use_numpy = False
         if backend != "python":
@@ -154,10 +172,16 @@ class CompiledQuery:
             size = -(-len(valuations) // workers)  # ceil division
             chunks = [valuations[i:i + size]
                       for i in range(0, len(valuations), size)]
-            with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-                parts = list(pool.map(
+            if executor is not None:
+                parts = list(executor.map(
                     lambda chunk: self._evaluate_chunk(sr, chunk, use_numpy),
                     chunks))
+            else:
+                with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+                    parts = list(pool.map(
+                        lambda chunk: self._evaluate_chunk(sr, chunk,
+                                                           use_numpy),
+                        chunks))
             return [value for part in parts for value in part]
         return self._evaluate_chunk(sr, valuations, use_numpy)
 
@@ -187,6 +211,14 @@ class CompiledQuery:
 
     def dynamic(self, sr: Semiring, strategy: Optional[str] = None,
                 on_change=None) -> "DynamicQuery":
+        """Deprecated: use :meth:`repro.api.PreparedQuery.maintain`."""
+        warn_deprecated("CompiledQuery.dynamic(...)",
+                        "Database.prepare(expr).maintain(sr)")
+        return self._dynamic(sr, strategy=strategy, on_change=on_change)
+
+    def _dynamic(self, sr: Semiring, strategy: Optional[str] = None,
+                 on_change=None) -> "DynamicQuery":
+        """The Theorem 8/24 maintained handle (internal, warning-free)."""
         return DynamicQuery(self, sr, strategy=strategy, on_change=on_change)
 
     def rebind(self, structure: Structure) -> "CompiledQuery":
@@ -219,6 +251,15 @@ class CompiledQuery:
     # one update touches exactly one (resp. two) input gates regardless of
     # how many color subsets mention the fact.
 
+    def can_mark(self, name: str, tup: Tuple) -> bool:
+        """Whether :meth:`mark_relation` would accept this toggle: the
+        relation is declared dynamic and the tuple is a clique of the
+        compile-time Gaifman graph (the Theorem 24 update model).  The
+        one shared predicate behind every pre-validation (e.g. the
+        facade's transaction checks on live services)."""
+        return (name in self.dynamic_relations
+                and _non_clique_pair(self.gaifman, tuple(tup)) is None)
+
     def mark_relation(self, name: str, tup: Tuple, present: bool
                       ) -> List[Tuple[Hashable, bool]]:
         """Record a Gaifman-preserving relation toggle; returns the input
@@ -227,14 +268,11 @@ class CompiledQuery:
         if name not in self.dynamic_relations:
             raise ValueError(f"{name} was not declared dynamic")
         tup = tuple(tup)
-        distinct = list(dict.fromkeys(tup))
-        for i, a in enumerate(distinct):
-            for b in distinct[i + 1:]:
-                if not self.gaifman.has_edge(a, b):
-                    raise ValueError(
-                        f"tuple {tup!r} is not a clique of the Gaifman "
-                        f"graph; such updates change the Gaifman graph and "
-                        f"are outside the Theorem 24 update model")
+        if _non_clique_pair(self.gaifman, tup) is not None:
+            raise ValueError(
+                f"tuple {tup!r} is not a clique of the Gaifman "
+                f"graph; such updates change the Gaifman graph and "
+                f"are outside the Theorem 24 update model")
         if present:
             self.structure.add_tuple(name, tup)
         else:
@@ -324,6 +362,27 @@ def compile_structure_query(structure: Structure, expr: WExpr,
                             optimize: bool = True,
                             plan_cache: Optional[Any] = None
                             ) -> CompiledQuery:
+    """Deprecated seam: compile ``expr`` over ``structure`` (Theorem 6).
+
+    Use :meth:`repro.api.Database.prepare` instead — the facade owns the
+    plan cache, consolidates the kwargs into :class:`repro.api.ExecOptions`,
+    and keeps every derived cache coherent under updates.  This shim
+    delegates unchanged (one :class:`DeprecationWarning` per call).
+    """
+    warn_deprecated("compile_structure_query(...)",
+                    "Database(structure).prepare(expr)")
+    return _compile_structure_query(structure, expr,
+                                    dynamic_relations=dynamic_relations,
+                                    coloring=coloring, optimize=optimize,
+                                    plan_cache=plan_cache)
+
+
+def _compile_structure_query(structure: Structure, expr: WExpr,
+                             dynamic_relations: Sequence[str] = (),
+                             coloring: Optional[Dict[Hashable, int]] = None,
+                             optimize: bool = True,
+                             plan_cache: Optional[Any] = None
+                             ) -> CompiledQuery:
     """Theorem 6 end-to-end (quantifier-free brackets; see repro.qe for
     eliminating quantifiers first).
 
@@ -348,9 +407,9 @@ def compile_structure_query(structure: Structure, expr: WExpr,
         template = plan_cache.lookup(key)
         if template is not None:
             return template.rebind(structure)
-        compiled = compile_structure_query(structure, expr,
-                                           dynamic_relations=dynamic_relations,
-                                           optimize=optimize)
+        compiled = _compile_structure_query(
+            structure, expr, dynamic_relations=dynamic_relations,
+            optimize=optimize)
         # Store a pristine snapshot: the caller may mutate its plan's
         # recorded weights/forest labels, which must not drift the cached
         # template away from the content the key fingerprints.

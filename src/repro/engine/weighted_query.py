@@ -24,7 +24,9 @@ import hashlib
 import itertools
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
 
-from ..core import CompiledQuery, DynamicQuery, compile_structure_query
+from .._compat import warn_deprecated
+from ..circuits import validate_backend
+from ..core import CompiledQuery, DynamicQuery, _compile_structure_query
 from ..logic.weighted import Sum, WExpr, WMul, Weight
 from ..semirings import Semiring
 from ..structures import Structure
@@ -61,6 +63,28 @@ class WeightedQueryEngine:
                  strategy: Optional[str] = None,
                  optimize: bool = True,
                  plan_cache: Optional[Any] = None):
+        # Direct construction is the deprecated seam; the facade and the
+        # serving layer build engines through :meth:`_create`.
+        warn_deprecated("WeightedQueryEngine(...)",
+                        "Database.prepare(expr, params=...).bind(...)")
+        self._init(structure, expr, sr, dynamic_relations=dynamic_relations,
+                   free_order=free_order, strategy=strategy,
+                   optimize=optimize, plan_cache=plan_cache)
+
+    @classmethod
+    def _create(cls, structure: Structure, expr: WExpr, sr: Semiring,
+                **kwargs) -> "WeightedQueryEngine":
+        """Internal warning-free constructor (facade / serving layer)."""
+        engine = cls.__new__(cls)
+        engine._init(structure, expr, sr, **kwargs)
+        return engine
+
+    def _init(self, structure: Structure, expr: WExpr, sr: Semiring,
+              dynamic_relations: Sequence[str] = (),
+              free_order: Optional[Sequence[str]] = None,
+              strategy: Optional[str] = None,
+              optimize: bool = True,
+              plan_cache: Optional[Any] = None):
         self.sr = sr
         self.free: Tuple[str, ...] = tuple(
             free_order if free_order is not None else sorted(expr.free_vars()))
@@ -104,10 +128,10 @@ class WeightedQueryEngine:
         else:
             closed = expr
         try:
-            self.compiled: CompiledQuery = compile_structure_query(
+            self.compiled: CompiledQuery = _compile_structure_query(
                 structure, closed, dynamic_relations=dynamic_relations,
                 optimize=optimize, plan_cache=plan_cache)
-            self.dynamic: DynamicQuery = self.compiled.dynamic(
+            self.dynamic: DynamicQuery = self.compiled._dynamic(
                 sr, strategy=strategy)
         except BaseException:
             # A failed construction leaves no engine to close(): strip the
@@ -190,7 +214,8 @@ class WeightedQueryEngine:
 
     def query_batch(self, argument_tuples: Sequence[Sequence[Hashable]],
                     backend: str = "auto",
-                    workers: Optional[int] = None) -> list:
+                    workers: Optional[int] = None,
+                    executor: Optional[Any] = None) -> list:
         """``[f(a) for a in argument_tuples]`` in one batched circuit pass.
 
         Each argument tuple is turned into a valuation that sets its
@@ -203,8 +228,12 @@ class WeightedQueryEngine:
         :meth:`CompiledQuery.evaluate_batch`: ``"numpy"`` selects the
         vectorized layered backend, ``"python"`` the pure-Python one,
         ``"auto"`` picks the best available for the semiring; ``workers``
-        shards the batch across a thread pool.
+        shards the batch across a thread pool (``executor`` lends an
+        existing pool for the sharding — see
+        :meth:`CompiledQuery.evaluate_batch`).  The backend string is
+        validated eagerly, before any selector valuation is built.
         """
+        validate_backend(backend)
         self._check_open()
         one = self.sr.one
         domain = set(self.structure.domain)
@@ -225,7 +254,8 @@ class WeightedQueryEngine:
                                for name, element in zip(self.selectors,
                                                         arguments)})
         return self.compiled.evaluate_batch(self.sr, valuations,
-                                            backend=backend, workers=workers)
+                                            backend=backend, workers=workers,
+                                            executor=executor)
 
     # -- updates ----------------------------------------------------------------
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
-from ..core import CompiledQuery, compile_structure_query
+from ..core import CompiledQuery, _compile_structure_query
 from ..logic.fo import Formula, is_quantifier_free
 from ..logic.weighted import Bracket, Sum, WExpr, WMul, Weight
 from ..semirings import NATURAL, Poly
@@ -64,7 +64,7 @@ class ProvenanceEnumerator:
 
     def __init__(self, structure: Structure, expr: WExpr,
                  dynamic_relations: Sequence[str] = ()):
-        self.compiled = compile_structure_query(
+        self.compiled = _compile_structure_query(
             structure, expr, dynamic_relations=dynamic_relations)
         self.context = EnumerationContext(self.compiled.circuit,
                                           _base_valuation(self.compiled))
@@ -140,7 +140,7 @@ class AnswerEnumerator:
             (Bracket(formula),)
             + tuple(Weight(name, (var,))
                     for name, var in zip(weight_names, self.vars))))
-        self.compiled = compile_structure_query(
+        self.compiled = _compile_structure_query(
             structure, expr, dynamic_relations=dynamic_relations)
         base = {}
         for key, (kind, raw) in self.compiled.recorded.items():

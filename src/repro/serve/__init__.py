@@ -10,7 +10,8 @@ touched-gate reporting.
 """
 
 from .plan_cache import PlanCache
-from .result_cache import MISS, ResultCache
+from .result_cache import MISS, ResultCache, ScopedResultCache
 from .service import QueryService
 
-__all__ = ["QueryService", "PlanCache", "ResultCache", "MISS"]
+__all__ = ["QueryService", "PlanCache", "ResultCache", "ScopedResultCache",
+           "MISS"]

@@ -84,3 +84,68 @@ class ResultCache:
         s = self.stats()
         return (f"<ResultCache size={s['size']}/{s['maxsize']} "
                 f"hits={s['hits']} misses={s['misses']} stale={s['stale']}>")
+
+    # -- scoped views ------------------------------------------------------------
+
+    def scoped(self, namespace: Hashable) -> "ScopedResultCache":
+        """A namespaced view of this cache: keys are transparently
+        prefixed with ``namespace``, so many consumers (one per prepared
+        query / service) share a single LRU memory budget without their
+        argument-tuple keys colliding."""
+        return ScopedResultCache(self, namespace)
+
+    def clear_scope(self, namespace: Hashable) -> int:
+        """Drop every entry of one scope; returns how many were dropped."""
+        with self._lock:
+            doomed = [key for key in self._entries
+                      if isinstance(key, tuple) and key
+                      and key[0] == namespace]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
+
+class ScopedResultCache:
+    """A namespaced view of a shared :class:`ResultCache`.
+
+    Satisfies the cache protocol :class:`~repro.serve.QueryService` and
+    the facade's bound point queries consume (``get``/``put``/``stats``/
+    ``clear``), storing entries under ``(namespace, key)`` in the parent.
+    Hit/miss counters are tracked per scope; capacity, eviction and the
+    epoch semantics belong to the parent.
+    """
+
+    MISS = MISS
+
+    def __init__(self, parent: ResultCache, namespace: Hashable):
+        self.parent = parent
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, epoch: int) -> Any:
+        value = self.parent.get((self.namespace, key), epoch)
+        with self._lock:
+            if value is MISS:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any, epoch: int) -> None:
+        self.parent.put((self.namespace, key), value, epoch)
+
+    def clear(self) -> None:
+        self.parent.clear_scope(self.namespace)
+
+    def stats(self) -> Dict[str, int]:
+        parent = self.parent.stats()
+        with self._lock:
+            return {"size": parent["size"], "maxsize": parent["maxsize"],
+                    "hits": self.hits, "misses": self.misses,
+                    "shared": True}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ScopedResultCache ns={self.namespace!r} "
+                f"hits={self.hits} misses={self.misses}>")

@@ -39,6 +39,8 @@ import time
 from concurrent.futures import Future
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from .._compat import warn_deprecated
+from ..circuits import validate_backend
 from ..engine import WeightedQueryEngine
 from ..logic.weighted import WExpr
 from ..semirings import Semiring
@@ -61,17 +63,34 @@ class QueryService:
     ``result_cache_size=0`` to disable result caching.
     """
 
-    def __init__(self, structure: Structure, expr: WExpr, sr: Semiring,
-                 dynamic_relations: Sequence[str] = (),
-                 free_order: Optional[Sequence[str]] = None,
-                 strategy: Optional[str] = None,
-                 optimize: bool = True,
-                 pool_size: int = 1,
-                 max_batch_size: int = 64,
-                 max_batch_delay: float = 0.002,
-                 backend: str = "auto",
-                 plan_cache: Optional[PlanCache] = None,
-                 result_cache_size: int = 1024):
+    def __init__(self, *args, **kwargs):
+        # Direct construction is the deprecated seam; the facade builds
+        # services through :meth:`_create` (see Database.serve).
+        warn_deprecated("QueryService(...)", "Database.serve(expr, ...)")
+        self._init(*args, **kwargs)
+
+    @classmethod
+    def _create(cls, *args, **kwargs) -> "QueryService":
+        """Internal warning-free constructor (facade)."""
+        service = cls.__new__(cls)
+        service._init(*args, **kwargs)
+        return service
+
+    def _init(self, structure: Structure, expr: WExpr, sr: Semiring,
+              dynamic_relations: Sequence[str] = (),
+              free_order: Optional[Sequence[str]] = None,
+              strategy: Optional[str] = None,
+              optimize: bool = True,
+              pool_size: int = 1,
+              max_batch_size: int = 64,
+              max_batch_delay: float = 0.002,
+              backend: str = "auto",
+              plan_cache: Optional[PlanCache] = None,
+              result_cache_size: int = 1024,
+              result_cache: Optional[Any] = None,
+              workers: Optional[int] = None,
+              executor: Optional[Any] = None):
+        validate_backend(backend)
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         if max_batch_size < 1:
@@ -81,8 +100,15 @@ class QueryService:
         self.max_batch_size = int(max_batch_size)
         self.max_batch_delay = float(max_batch_delay)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
-        self.result_cache = (ResultCache(result_cache_size)
-                             if result_cache_size else None)
+        # An explicit ``result_cache`` instance (e.g. a scoped view of a
+        # Database-owned shared cache) wins over the size knob.
+        if result_cache is not None:
+            self.result_cache = result_cache
+        else:
+            self.result_cache = (ResultCache(result_cache_size)
+                                 if result_cache_size else None)
+        self._workers = workers
+        self._executor = executor
         # Snapshot the host structure for engines 2..N *before* engine 1
         # installs its selector weights: all snapshots then share the
         # host's content fingerprint, so every pool engine resolves to
@@ -91,7 +117,7 @@ class QueryService:
         self.engines: List[WeightedQueryEngine] = []
         try:
             for member in [structure] + snapshots:
-                self.engines.append(WeightedQueryEngine(
+                self.engines.append(WeightedQueryEngine._create(
                     member, expr, sr, dynamic_relations=dynamic_relations,
                     free_order=free_order, strategy=strategy,
                     optimize=optimize, plan_cache=self.plan_cache))
@@ -200,7 +226,9 @@ class QueryService:
             groups.setdefault(arguments, []).append((future, epoch))
         unique = list(groups)
         try:
-            results = engine.query_batch(unique, backend=self.backend)
+            results = engine.query_batch(unique, backend=self.backend,
+                                         workers=self._workers,
+                                         executor=self._executor)
         except BaseException as error:  # noqa: BLE001 - delivered to callers
             for waiters in groups.values():
                 for future, _ in waiters:
@@ -223,6 +251,22 @@ class QueryService:
                 future.set_result(value)
 
     # -- updates ----------------------------------------------------------------
+
+    def can_absorb_weight(self, name: str, tup: Tuple) -> bool:
+        """Whether :meth:`update_weight` can maintain ``name(tup)`` —
+        i.e. the tuple was declared at compile time (the paper's update
+        model).  Used by ``Database.update`` to pre-validate a
+        transaction before mutating anything."""
+        return tuple(tup) in \
+            self.engines[0].compiled.structure.weights.get(name, {})
+
+    def can_absorb_relation(self, name: str, tup: Tuple = ()) -> bool:
+        """Whether :meth:`set_relation` can maintain a toggle of
+        ``name(tup)``: the relation was declared dynamic at compile time
+        and the tuple is a clique of the compile-time Gaifman graph
+        (the Theorem 24 update model, via
+        :meth:`~repro.core.CompiledQuery.can_mark`)."""
+        return self.engines[0].compiled.can_mark(name, tup)
 
     def update_weight(self, name: str, tup: Tuple, value: Any) -> int:
         """Set ``name(tup) = value`` on every pool engine; returns gates
@@ -286,6 +330,10 @@ class QueryService:
             thread.join()
         for engine in self.engines:
             engine.close()
+        if self.result_cache is not None:
+            # A closed service can never serve these again; a scoped
+            # view of a shared cache must not keep occupying its LRU.
+            self.result_cache.clear()
 
     def __enter__(self) -> "QueryService":
         return self

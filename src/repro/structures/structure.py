@@ -165,9 +165,15 @@ class Structure:
                         f"arity-{arity} relation")
 
     def copy(self) -> "Structure":
-        return Structure(self.domain,
-                         {r: set(t) for r, t in self.relations.items()},
-                         {w: dict(m) for w, m in self.weights.items()})
+        clone = Structure(self.domain,
+                          {r: set(t) for r, t in self.relations.items()},
+                          {w: dict(m) for w, m in self.weights.items()})
+        # Empty relations/weights carry no tuples for the constructor to
+        # infer arities from; copy the declared arities explicitly so a
+        # clone is interchangeable with the original (e.g. dynamic
+        # relations that start empty).
+        clone._arity.update(self._arity)
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         rels = ", ".join(f"{r}:{len(t)}" for r, t in self.relations.items())

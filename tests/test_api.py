@@ -1,0 +1,616 @@
+"""The unified repro.api facade: Database / PreparedQuery / ExecOptions.
+
+Covers the five execution modes behind one handle (static value,
+batched evaluation, bound point queries, maintained updates,
+enumeration) plus serve(), the routed update context (maintenance,
+invalidation, epoch/cache coherence, out-of-band detection), the
+consolidated option validation, and the shared worker pool / cache
+lifecycles.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import warnings
+
+import pytest
+
+from repro.api import Database, ExecOptions
+from repro.logic import Atom, Bracket, Sum, Weight
+from repro.semirings import BOOLEAN, MIN_PLUS, NATURAL
+from repro.structures import Structure
+
+from tests.util import semiring_params, weighted_graph_structure
+from repro.graphs import triangulated_grid
+
+E = lambda x, y: Atom("E", (x, y))
+w = lambda x, y: Weight("w", (x, y))
+
+#: Closed: total edge weight.
+EDGE_SUM = Sum(("x", "y"), Bracket(E("x", "y")) * w("x", "y"))
+#: One parameter: weighted out-degree.
+DEGREE = Sum("y", Bracket(E("x", "y")) * w("x", "y"))
+
+
+def build(side=3, seed=2):
+    return weighted_graph_structure(triangulated_grid(side, side), seed=seed)
+
+
+def reference_degree(structure, vertex, conv=lambda v: v, zero=0):
+    total = zero
+    for (a, b), value in structure.weights["w"].items():
+        if a == vertex:
+            total = total + value
+    return total
+
+
+class TestExecOptions:
+    def test_backend_validated_eagerly_with_shared_message(self):
+        with pytest.raises(ValueError, match="unknown backend 'cuda'"):
+            ExecOptions(backend="cuda")
+
+    def test_all_knob_bounds(self):
+        for bad in (dict(workers=0), dict(pool_size=0),
+                    dict(max_batch_size=0), dict(max_batch_delay=-1.0),
+                    dict(plan_cache_size=0), dict(result_cache_size=-1)):
+            with pytest.raises(ValueError):
+                ExecOptions(**bad)
+
+    def test_merged_revalidates_and_rejects_unknown(self):
+        options = ExecOptions()
+        assert options.merged() is options
+        assert options.merged(workers=4).workers == 4
+        with pytest.raises(ValueError):
+            options.merged(backend="gpu")
+        with pytest.raises(TypeError, match="unknown execution option"):
+            options.merged(batch_size=3)
+
+    def test_database_and_call_level_overrides(self):
+        db = Database(build(), workers=2, result_cache_size=0)
+        assert db.options.workers == 2
+        assert db.result_cache is None
+        prepared = db.prepare(EDGE_SUM, backend="python")
+        assert prepared.options.backend == "python"
+        assert prepared.options.workers == 2  # inherited
+        db.close()
+
+    def test_invalid_backend_rejected_at_every_seam(self, small_grid_structure):
+        with Database(small_grid_structure) as db:
+            with pytest.raises(ValueError, match="unknown backend"):
+                db.prepare(EDGE_SUM, backend="fpga")
+            prepared = db.prepare(DEGREE)
+            with pytest.raises(ValueError, match="unknown backend"):
+                prepared.batch([(small_grid_structure.domain[0],)], NATURAL,
+                               backend="fpga")
+            with pytest.raises(ValueError, match="unknown backend"):
+                db.serve(DEGREE, NATURAL, backend="fpga")
+
+
+class TestExecutionModes:
+    @semiring_params()
+    def test_value_matches_direct_evaluation(self, sr, conv):
+        structure = weighted_graph_structure(triangulated_grid(3, 3),
+                                             seed=3, conv=conv)
+        with Database(structure) as db:
+            total = db.prepare(EDGE_SUM).value(sr)
+        expected = sr.zero
+        for edge, value in structure.weights["w"].items():
+            expected = sr.add(expected, value)
+        assert sr.eq(total, expected)
+
+    def test_value_requires_closed_query(self):
+        with Database(build()) as db:
+            prepared = db.prepare(DEGREE)
+            with pytest.raises(ValueError, match="parameters"):
+                prepared.value(NATURAL)
+
+    def test_batch_closed_valuations(self):
+        structure = build()
+        edges = sorted(structure.relations["E"])[:3]
+        with Database(structure) as db:
+            prepared = db.prepare(EDGE_SUM)
+            base = prepared.value(NATURAL)
+            values = prepared.batch(
+                [{}] + [{("w", "w", edge): 0} for edge in edges], NATURAL)
+            assert values[0] == base
+            for edge, dropped in zip(edges, values[1:]):
+                assert dropped == base - structure.weights["w"][edge]
+
+    def test_batch_parameterized_argument_tuples(self):
+        structure = build()
+        probes = structure.domain[:5]
+        with Database(structure) as db:
+            prepared = db.prepare(DEGREE)
+            values = prepared.batch([(v,) for v in probes], NATURAL)
+        assert values == [reference_degree(structure, v) for v in probes]
+
+    def test_batch_workers_use_shared_pool(self):
+        structure = build()
+        with Database(structure) as db:
+            prepared = db.prepare(EDGE_SUM)
+            serial = prepared.batch([{}] * 8, NATURAL)
+            sharded = prepared.batch([{}] * 8, NATURAL, workers=4)
+            assert sharded == serial
+            assert db.stats()["pool_started"]
+            # The pool survives across calls (no per-call construction).
+            pool = db.executor()
+            assert db.executor() is pool
+
+    def test_bind_positional_and_keyword(self):
+        structure = build()
+        vertex = structure.domain[4]
+        with Database(structure) as db:
+            prepared = db.prepare(DEGREE)
+            expected = reference_degree(structure, vertex)
+            assert prepared.bind(vertex).value(NATURAL) == expected
+            assert prepared.bind(x=vertex).value(NATURAL) == expected
+            with pytest.raises(ValueError, match="expected 1 arguments"):
+                prepared.bind(vertex, vertex)
+            with pytest.raises(ValueError, match="do not match params"):
+                prepared.bind(y=vertex)
+            with pytest.raises(TypeError):
+                prepared.bind(vertex, x=vertex)
+
+    def test_bind_results_cached_until_effective_update(self):
+        structure = build()
+        vertex = structure.domain[0]
+        edge = next(e for e in sorted(structure.relations["E"])
+                    if e[0] == vertex)
+        with Database(structure) as db:
+            prepared = db.prepare(DEGREE)
+            before = prepared.bind(vertex).value(NATURAL)
+            prepared.bind(vertex).value(NATURAL)
+            assert db.result_cache.stats()["hits"] == 1
+            # A no-op write keeps the cache warm.
+            with db.update() as tx:
+                assert tx.set_weight("w", edge,
+                                     structure.weights["w"][edge]) == 0
+            prepared.bind(vertex).value(NATURAL)
+            assert db.result_cache.stats()["hits"] == 2
+            # An effective write advances the epoch and invalidates.
+            original = structure.weights["w"][edge]
+            with db.update() as tx:
+                assert tx.set_weight("w", edge, 0) > 0
+            assert prepared.bind(vertex).value(NATURAL) == before - original
+            assert db.epoch == 1
+
+    def test_maintain_tracks_routed_updates(self):
+        structure = build()
+        edge = sorted(structure.relations["E"])[0]
+        original = structure.weights["w"][edge]
+        with Database(structure) as db:
+            prepared = db.prepare(EDGE_SUM)
+            maintained = db.prepare(EDGE_SUM).maintain(NATURAL)
+            base = maintained.value()
+            assert base == prepared.value(NATURAL)
+            touched = maintained.update_weight("w", edge, original + 5)
+            assert touched > 0
+            assert maintained.value() == base + 5
+            # The same routed update reached the *other* prepared handle.
+            assert prepared.value(NATURAL) == base + 5
+            # maintain() is cached per semiring.
+            again = db.prepare(EDGE_SUM)
+            assert again.maintain(NATURAL) is again.maintain(NATURAL)
+
+    def test_maintain_rejects_parameterized(self):
+        with Database(build()) as db:
+            with pytest.raises(ValueError, match="closed query"):
+                db.prepare(DEGREE).maintain(NATURAL)
+
+    def test_enumerate_answers_of_formula(self):
+        structure = build()
+        formula = E("x", "y")
+        with Database(structure) as db:
+            prepared = db.prepare(formula, params=("x", "y"))
+            answers = set(prepared.enumerate())
+            assert answers == set(structure.relations["E"])
+            # The same prepared handle also evaluates: existence + count.
+            assert prepared.bind(*sorted(answers)[0]).value(BOOLEAN)
+
+    def test_enumerate_provenance_monomials(self):
+        structure = Structure(["a", "b", "c"])
+        for pair in [("a", "b"), ("b", "c")]:
+            structure.add_tuple("E", pair)
+            structure.set_weight("w", pair, f"e{pair[0]}{pair[1]}")
+        expr = Sum(("x", "y"), w("x", "y"))
+        with Database(structure) as db:
+            monomials = sorted(db.prepare(expr).enumerate().monomials())
+        assert monomials == [("eab",), ("ebc",)]
+
+    def test_enumerate_rejects_open_weighted_expr(self):
+        with Database(build()) as db:
+            with pytest.raises(ValueError, match="enumerate"):
+                db.prepare(DEGREE).enumerate()
+
+    def test_explain_and_stats(self):
+        with Database(build()) as db:
+            prepared = db.prepare(EDGE_SUM)
+            stats = prepared.stats()
+            assert stats["gates"] > 0 and stats["kind"] == "weighted"
+            text = prepared.explain()
+            assert "circuit:" in text and "options:" in text
+            lazy = db.prepare(DEGREE)
+            assert lazy.stats().get("compiled") is False
+            assert "not compiled" in lazy.explain()
+
+
+class TestServe:
+    def test_serve_prewired_to_shared_caches(self):
+        structure = build(4)
+        probe = structure.domain[7]
+        with Database(structure) as db:
+            with db.serve(DEGREE, NATURAL) as service:
+                assert service.plan_cache is db.plan_cache
+                expected = reference_degree(structure, probe)
+                assert service.query(probe) == expected
+                assert service.query(probe) == expected
+                stats = service.stats()
+                assert stats["result_cache"]["hits"] >= 1
+                assert stats["result_cache"].get("shared") is True
+            # A second service over equal content reuses the compilation.
+            with db.serve(DEGREE, NATURAL) as service:
+                service.query(probe)
+            assert db.plan_cache.stats()["hits"] >= 1
+
+    def test_serve_accepts_formulas_like_prepare(self):
+        structure = build(3)
+        edge = sorted(structure.relations["E"])[0]
+        with Database(structure) as db:
+            with db.serve(Atom("E", ("x", "y")), NATURAL,
+                          params=("x", "y")) as service:
+                assert service.query(*edge) == 1
+                assert service.query(edge[0], edge[0]) == 0
+
+    def test_scoped_result_caches_do_not_collide(self):
+        structure = build(3)
+        probe = structure.domain[0]
+        drop = Sum("y", Bracket(E("x", "y")))  # unweighted out-degree
+        weighted_ref = reference_degree(structure, probe)
+        count_ref = sum(1 for (a, _) in structure.relations["E"]
+                        if a == probe)
+        with Database(structure) as db:
+            with db.serve(DEGREE, NATURAL) as weighted:
+                with db.serve(drop, NATURAL) as unweighted:
+                    assert weighted.query(probe) == weighted_ref
+                    assert unweighted.query(probe) == count_ref
+                    # Same key (the probe), different scopes: each service
+                    # re-hits its *own* cached value, never the other's.
+                    assert weighted.query(probe) == weighted_ref
+                    assert unweighted.query(probe) == count_ref
+
+    def test_routed_updates_reach_services(self):
+        structure = build(3)
+        vertex = structure.domain[0]
+        edge = next(e for e in sorted(structure.relations["E"])
+                    if e[0] == vertex)
+        original = structure.weights["w"][edge]
+        with Database(structure) as db:
+            with db.serve(DEGREE, NATURAL) as service:
+                before = service.query(vertex)
+                with db.update() as tx:
+                    touched = tx.set_weight("w", edge, 0)
+                assert touched > 0
+                assert service.query(vertex) == before - original
+
+    def test_update_refused_when_service_cannot_absorb(self):
+        structure = build(3)
+        extra = structure.domain[0]
+        with Database(structure) as db:
+            with db.serve(DEGREE, NATURAL):
+                with db.update() as tx:
+                    # "w" and "E" are read by DEGREE: a write the live
+                    # service cannot maintain in place is refused up
+                    # front, before anything mutates.
+                    with pytest.raises(KeyError, match="live service"):
+                        tx.set_weight("w", (extra, extra), 7)
+                    with pytest.raises(ValueError, match="live service"):
+                        tx.set_relation("E", (extra, extra), False)
+
+    def test_irrelevant_updates_skip_live_services(self):
+        """A write the service's query provably never reads is routed
+        past it instead of being refused database-wide."""
+        structure = build(3)
+        vertex = structure.domain[0]
+        structure.relations.setdefault("S", set())
+        structure._arity.setdefault("S", 1)
+        count_s = Sum("x", Bracket(Atom("S", ("x",))))
+        with Database(structure) as db:
+            with db.serve(DEGREE, NATURAL) as service:  # reads E, w only
+                before = service.query(vertex)
+                counter = db.prepare(count_s, dynamic=("S",))
+                with db.update() as tx:
+                    tx.set_weight("aux", (vertex,), 9)   # new weight name
+                    tx.set_relation("S", (vertex,), True)  # undeclared rel
+                assert counter.value(NATURAL) == 1
+                assert service.query(vertex) == before  # untouched
+
+
+class TestUpdateRouting:
+    def test_new_weight_tuple_invalidates_and_recompiles(self):
+        structure = build(3)
+        vertex, other = structure.domain[0], structure.domain[1]
+        structure.set_weight("u", (other,), 0)  # declared for one element
+        with Database(structure) as db:
+            prepared = db.prepare(
+                Sum(("x", "y"), Bracket(E("x", "y")) * w("x", "y"))
+                + Sum("x", Weight("u", ("x",))))
+            base = prepared.value(NATURAL)
+            assert base == sum(structure.weights["w"].values())
+            with db.update() as tx:
+                # (vertex,) was *not* declared at compile time: outside
+                # the maintenance model -> invalidate + lazy recompile.
+                tx.set_weight("u", (vertex,), 5)
+            assert prepared.value(NATURAL) == base + 5
+
+    def test_dynamic_relation_maintained_incrementally(self):
+        # Count S-marked vertices; S is declared dynamic.
+        structure = build(3)
+        structure.relations.setdefault("S", set())
+        structure._arity.setdefault("S", 1)
+        count_s = Sum("x", Bracket(Atom("S", ("x",))))
+        vertex = structure.domain[0]
+        with Database(structure) as db:
+            maintained = db.prepare(count_s, dynamic=("S",)).maintain(NATURAL)
+            assert maintained.value() == 0
+            touched = maintained.set_relation("S", (vertex,), True)
+            assert touched > 0
+            assert maintained.value() == 1
+            maintained.set_relation("S", (vertex,), False)
+            assert maintained.value() == 0
+
+    def test_undeclared_relation_toggle_invalidates(self):
+        structure = build(3)
+        structure.relations.setdefault("S", set())
+        structure._arity.setdefault("S", 1)
+        count_s = Sum("x", Bracket(Atom("S", ("x",))))
+        vertex = structure.domain[0]
+        with Database(structure) as db:
+            prepared = db.prepare(count_s)  # S *not* declared dynamic
+            assert prepared.value(NATURAL) == 0
+            with db.update() as tx:
+                tx.set_relation("S", (vertex,), True)
+            # The stale plan was dropped and recompiled, not served.
+            assert prepared.value(NATURAL) == 1
+
+    def test_invalidation_only_weight_update_kills_cached_points(self):
+        """Regression: an update absorbed by *no* consumer (a brand-new
+        weight tuple -> invalidate + lazy recompile) must still advance
+        the epoch, or cached bound results survive the change."""
+        structure = build(3)
+        vertex, other = structure.domain[0], structure.domain[1]
+        structure.set_weight("u", (other,), 1)
+        with Database(structure) as db:
+            g = db.prepare(Weight("u", ("x",)), params=("x",))
+            assert g.bind(vertex).value(NATURAL) == 0  # cached at epoch 0
+            with db.update() as tx:
+                tx.set_weight("u", (vertex,), 100)  # new tuple: touched 0
+            assert g.bind(vertex).value(NATURAL) == 100
+
+    def test_absorbed_toggle_invalidates_other_consumers_caches(self):
+        """Regression: a toggle absorbed by one consumer (touched 0, no
+        maintained handle) while invalidating another must advance the
+        epoch for the invalidated one's cached bound results."""
+        structure = build(3)
+        structure.relations.setdefault("S", set())
+        structure._arity.setdefault("S", 1)
+        vertex = structure.domain[0]
+        count_s = Sum("x", Bracket(Atom("S", ("x",))))
+        with Database(structure) as db:
+            absorber = db.prepare(count_s, dynamic=("S",))
+            absorber.value(NATURAL)  # compile the absorbing plan
+            holder = db.prepare(Bracket(Atom("S", ("x",))), params=("x",))
+            assert holder.bind(vertex).value(NATURAL) == 0  # cached
+            with db.update() as tx:
+                tx.set_relation("S", (vertex,), True)
+            assert holder.bind(vertex).value(NATURAL) == 1
+            assert absorber.value(NATURAL) == 1
+
+    def test_out_of_band_mutation_detected_and_invalidated(self):
+        structure = build(3)
+        edge = sorted(structure.relations["E"])[0]
+        vertex = structure.domain[0]
+        with Database(structure) as db:
+            prepared = db.prepare(EDGE_SUM)
+            degree = db.prepare(DEGREE)
+            base = prepared.value(NATURAL)
+            point = degree.bind(vertex).value(NATURAL)
+            epoch = db.epoch
+            # Bypass the facade entirely: a raw structure write.
+            structure.set_weight("w", edge, structure.weights["w"][edge] + 9)
+            assert prepared.value(NATURAL) == base + 9
+            assert db.epoch > epoch  # caches invalidated
+            expected = point + (9 if edge[0] == vertex else 0)
+            assert degree.bind(vertex).value(NATURAL) == expected
+
+    def test_read_inside_transaction_keeps_maintenance(self):
+        """Regression: a facade read *inside* db.update() must not
+        mistake the transaction's own writes for out-of-band mutations
+        and flush every compiled artifact."""
+        structure = build(3)
+        edge = sorted(structure.relations["E"])[0]
+        original = structure.weights["w"][edge]
+        with Database(structure) as db:
+            prepared = db.prepare(EDGE_SUM)
+            maintained = prepared.maintain(NATURAL)
+            base = maintained.value()
+            evaluator = maintained._dq
+            plan = prepared._plan
+            with db.update() as tx:
+                tx.set_weight("w", edge, 0)
+                # The mid-transaction read sees the new value...
+                assert prepared.value(NATURAL) == base - original
+            # ...without the incremental machinery being torn down.
+            assert maintained._dq is evaluator
+            assert prepared._plan is plan
+            assert maintained.value() == base - original
+
+    def test_unreferenced_weight_update_keeps_everything_warm(self):
+        """A weight name the expression never reads cannot change its
+        value: no invalidation, no epoch bump, caches stay warm."""
+        structure = build(3)
+        vertex = structure.domain[0]
+        with Database(structure) as db:
+            prepared = db.prepare(DEGREE)
+            expected = prepared.bind(vertex).value(NATURAL)
+            engine = prepared._engines[NATURAL.name]
+            with db.update() as tx:
+                tx.set_weight("aux", (vertex,), 123)  # not read by DEGREE
+            assert prepared.bind(vertex).value(NATURAL) == expected
+            assert db.result_cache.stats()["hits"] == 1  # served warm
+            assert prepared._engines[NATURAL.name] is engine
+
+    def test_unreferenced_relation_toggle_keeps_caches_warm(self):
+        """Symmetric to the weight case: a toggle of a relation no
+        consumer reads must not advance the epoch."""
+        structure = build(3)
+        structure.relations.setdefault("S", set())
+        structure._arity.setdefault("S", 1)
+        vertex = structure.domain[0]
+        with Database(structure) as db:
+            prepared = db.prepare(DEGREE)  # reads E and w only
+            expected = prepared.bind(vertex).value(NATURAL)
+            epoch = db.epoch
+            with db.update() as tx:
+                tx.set_relation("S", (vertex,), True)
+            assert db.epoch == epoch
+            assert prepared.bind(vertex).value(NATURAL) == expected
+            assert db.result_cache.stats()["hits"] == 1  # served warm
+
+    def test_shared_result_cache_across_databases_never_collides(self):
+        """Two Databases may share one ResultCache (one memory budget);
+        their scope namespaces must still be disjoint."""
+        from repro.serve import ResultCache
+        shared = ResultCache(256)
+        s1 = build(3, seed=2)
+        s2 = build(3, seed=9)  # same shape, different weights
+        vertex = s1.domain[0]
+        with Database(s1, result_cache=shared) as db1:
+            with Database(s2, result_cache=shared) as db2:
+                q1 = db1.prepare(DEGREE)
+                q2 = db2.prepare(DEGREE)
+                assert q1.bind(vertex).value(NATURAL) == \
+                    reference_degree(s1, vertex)
+                assert q2.bind(vertex).value(NATURAL) == \
+                    reference_degree(s2, vertex)
+
+    def test_closed_consumers_release_their_cached_results(self):
+        structure = build(3)
+        vertex = structure.domain[0]
+        with Database(structure) as db:
+            prepared = db.prepare(DEGREE)
+            prepared.bind(vertex).value(NATURAL)
+            with db.serve(DEGREE, NATURAL) as service:
+                service.query(vertex)
+                assert len(db.result_cache) == 2
+            # service closed: its scoped entries are purged.
+            assert len(db.result_cache) == 1
+            prepared.close()
+            assert len(db.result_cache) == 0
+
+    def test_concurrent_binds_are_consistent(self):
+        """The shared engine's selector protocol is a critical section:
+        concurrent binds must never observe each other's selectors."""
+        structure = build(4)
+        expected = {v: reference_degree(structure, v)
+                    for v in structure.domain}
+        with Database(structure, result_cache_size=0) as db:
+            prepared = db.prepare(DEGREE)
+            errors = []
+
+            def worker(seed):
+                rng = random.Random(seed)
+                try:
+                    for _ in range(25):
+                        v = rng.choice(structure.domain)
+                        got = prepared.bind(v).value(NATURAL)
+                        if got != expected[v]:
+                            errors.append((v, got, expected[v]))
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker, args=(seed,))
+                       for seed in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+
+    def test_update_context_reports_touched(self):
+        structure = build(3)
+        edges = sorted(structure.relations["E"])[:2]
+        with Database(structure) as db:
+            maintained = db.prepare(EDGE_SUM).maintain(NATURAL)
+            maintained.value()  # materialize the dynamic evaluator
+            with db.update() as tx:
+                tx.set_weight("w", edges[0], 0)
+                tx.set_weight("w", edges[1], 0)
+                assert tx.touched > 0
+
+
+class TestLifecycle:
+    def test_close_strips_selectors_and_rejects_use(self):
+        structure = build(3)
+        db = Database(structure)
+        prepared = db.prepare(DEGREE)
+        prepared.bind(structure.domain[0]).value(NATURAL)
+        # Engines run on snapshots: the caller's structure never grows
+        # selector weight functions.
+        assert not any(name.startswith("_sel") for name in structure.weights)
+        db.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            prepared.bind(structure.domain[0]).value(NATURAL)
+        with pytest.raises(RuntimeError, match="closed"):
+            db.prepare(EDGE_SUM)
+        db.close()  # idempotent
+
+    def test_out_of_band_mutation_closes_services(self):
+        """A live service pool cannot be rebuilt in place: when a write
+        bypasses the facade, the service is closed rather than left
+        serving the pre-mutation snapshot."""
+        structure = build(3)
+        vertex = structure.domain[0]
+        edge = sorted(structure.relations["E"])[0]
+        with Database(structure) as db:
+            service = db.serve(DEGREE, NATURAL)
+            service.query(vertex)
+            structure.set_weight("w", edge, 999)  # bypasses db.update()
+            db.prepare(EDGE_SUM)  # any facade call runs the freshness check
+            assert service.closed
+            with pytest.raises(RuntimeError, match="closed"):
+                service.query(vertex)
+
+    def test_closed_handles_are_deregistered(self):
+        structure = build(3)
+        with Database(structure) as db:
+            for _ in range(5):
+                prepared = db.prepare(EDGE_SUM)
+                prepared.value(NATURAL)
+                prepared.close()
+            assert db.stats()["prepared"] == 0  # close() deregisters
+            with db.serve(DEGREE, NATURAL) as service:
+                service.query(structure.domain[0])
+            db.prepare(EDGE_SUM)  # registration prunes the closed service
+            assert db.stats()["services"] == 0
+
+    def test_facade_paths_emit_no_deprecation_warnings(self):
+        structure = build(3)
+        vertex = structure.domain[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Database(structure) as db:
+                prepared = db.prepare(EDGE_SUM)
+                prepared.value(NATURAL)
+                prepared.value(MIN_PLUS)
+                prepared.batch([{}], NATURAL)
+                prepared.maintain(NATURAL).value()
+                degree = db.prepare(DEGREE)
+                degree.bind(vertex).value(NATURAL)
+                degree.batch([(vertex,)], NATURAL)
+                db.prepare(E("x", "y"), params=("x", "y")).enumerate()
+                with db.serve(DEGREE, NATURAL) as service:
+                    service.query(vertex)
+                with db.update() as tx:
+                    edge = sorted(structure.relations["E"])[0]
+                    tx.set_weight("w", edge, 3)
