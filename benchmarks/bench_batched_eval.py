@@ -14,6 +14,14 @@ the numpy backend >= 2x over the python batched sweep on the side-20
 triangle workload in the numeric semiring; the pure-Python fallback
 results are asserted unchanged.
 
+The *counting-semiring axis* compares the exact kernels on the same
+compiled query: ``exact_mode="object"`` (exact Python ints on object
+dtype) vs ``exact_mode="int64"`` (the overflow-guarded native fast
+path).  Target: >= 3x at side 20, results identical, zero guard trips
+on in-range weights — and the chosen kernel + fallback count are
+printed as a ``KERNEL-REPORT`` line that ``ci_smoke`` lifts into
+``BENCH_ci.json``.
+
 ``REPRO_BENCH_FAST=1`` shrinks the workload for CI smoke runs (the 2x
 assertions only apply at full size, where amortization is realistic);
 ``REPRO_BACKEND=python`` disables the numpy axis (the no-numpy CI leg).
@@ -140,6 +148,71 @@ def test_numpy_backend_beats_python_batched(capsys):
         assert speedup >= 2.0, (
             f"numpy backend only {speedup:.2f}x over the python "
             f"BatchedEvaluator sweep (target: 2x)")
+
+
+@pytest.mark.skipif(not NUMPY_OK, reason="numpy unavailable or disabled")
+def test_int64_kernel_beats_object_dtype_on_counting_sweep(capsys):
+    """E-A6d: the counting-semiring kernel axis.  The same compiled
+    triangle query and override batch, evaluated once on the exact
+    object-dtype kernel and once on the overflow-guarded int64 fast
+    path.  In-range counting weights must not trip a single guard, and
+    the guarded path must still be >= 3x faster at full size."""
+    import json
+
+    compiled, overrides = _override_workload(SIDE, BATCH)
+    object_values, object_time = best_of(
+        lambda: compiled.evaluate_batch(NATURAL, overrides,
+                                        backend="numpy",
+                                        exact_mode="object"))
+    int64_values, int64_time = best_of(
+        lambda: compiled.evaluate_batch(NATURAL, overrides,
+                                        backend="numpy",
+                                        exact_mode="int64"))
+    assert int64_values == object_values
+    kernel = compiled.stats()["exact_kernel"]
+    assert kernel["used"] == "N-int64"
+    assert kernel["fallbacks"] == 0
+    speedup = object_time / int64_time if int64_time else float("inf")
+    with capsys.disabled():
+        report(f"E-A6d: exact-kernel axis, counting semiring "
+               f"(side={SIDE}, batch={BATCH}, semiring=N, seconds)",
+               ["exact_mode", "time", "speedup"],
+               [["object", round(object_time, 4), 1.0],
+                ["int64", round(int64_time, 4), round(speedup, 2)]])
+        print("KERNEL-REPORT " + json.dumps({
+            "axis": "counting-int64", "side": SIDE, "batch": BATCH,
+            "kernel": kernel["used"], "fallbacks": kernel["fallbacks"],
+            "speedup_vs_object": round(speedup, 2)}))
+    if not FAST:
+        assert speedup >= 3.0, (
+            f"int64 kernel only {speedup:.2f}x over the object-dtype "
+            f"kernel on the counting sweep (target: 3x)")
+
+
+@pytest.mark.skipif(not NUMPY_OK, reason="numpy unavailable or disabled")
+def test_overflowing_counting_sweep_stays_exact(capsys):
+    """The guarded path's worst case: weights near the int64 boundary
+    force fallbacks, and the results must still equal the object kernel
+    exactly (this is the safety half of the E-A6d axis)."""
+    import json
+
+    compiled, overrides = _override_workload(8 if FAST else 12, BATCH)
+    hot = [{key: value * 2 ** 58 for key, value in override.items()}
+           for override in overrides]
+    object_values = compiled.evaluate_batch(NATURAL, hot,
+                                            backend="numpy",
+                                            exact_mode="object")
+    int64_values = compiled.evaluate_batch(NATURAL, hot,
+                                           backend="numpy",
+                                           exact_mode="int64")
+    assert int64_values == object_values
+    kernel = compiled.stats()["exact_kernel"]
+    assert kernel["fallbacks"] >= 1
+    assert kernel["used"] == "N-object"
+    with capsys.disabled():
+        print("KERNEL-REPORT " + json.dumps({
+            "axis": "counting-overflow", "kernel": kernel["used"],
+            "fallbacks": kernel["fallbacks"]}))
 
 
 def test_python_fallback_results_unchanged_by_backend_axis():

@@ -58,13 +58,29 @@ def run_bench(path: str, env: dict) -> dict:
     tail = (proc.stdout.strip().splitlines() or [""])[-1]
     counts = {key: int(num) for num, key in
               re.findall(r"(\d+) (passed|failed|error|skipped)", tail)}
-    return {
+    result = {
         "bench": os.path.basename(path),
         "seconds": round(elapsed, 3),
         "returncode": proc.returncode,
         "summary": tail,
         **counts,
     }
+    # Benches that exercise the exact-kernel axis print one
+    # ``KERNEL-REPORT {json}`` line per axis (chosen kernel, fallback
+    # count, speedup); lift them into the artifact so the kernel
+    # trajectory is comparable across runs without re-running anything.
+    kernels = []
+    for line in proc.stdout.splitlines():
+        # pytest progress dots may prefix the line; search, don't anchor.
+        match = re.search(r"KERNEL-REPORT (\{.*\})\s*$", line)
+        if match:
+            try:
+                kernels.append(json.loads(match.group(1)))
+            except json.JSONDecodeError:
+                pass
+    if kernels:
+        result["kernels"] = kernels
+    return result
 
 
 def backend_aware(path: str) -> bool:

@@ -139,6 +139,7 @@ class Database:
             max_batch_size=opts.max_batch_size,
             max_batch_delay=opts.max_batch_delay,
             backend=opts.backend,
+            exact_mode=opts.exact_mode,
             plan_cache=self.plan_cache,
             result_cache=scoped,
             result_cache_size=(0 if scoped is not None

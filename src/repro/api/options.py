@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Optional
 
-from ..circuits import validate_backend
+from ..circuits import validate_backend, validate_exact_mode
 
 
 @dataclass(frozen=True)
@@ -26,6 +26,15 @@ class ExecOptions:
         Batched-evaluation substrate: ``"auto"`` (numpy when the
         semiring has an array kernel), ``"python"``, or ``"numpy"``.
         Validated here — eagerly — with the one shared error message.
+    ``exact_mode``
+        Vectorized kernel for the exact carriers (``N``/``Z``/``Q``):
+        ``"auto"``/``"int64"`` select the overflow-guarded native fast
+        path (guard trips transparently fall back to the object kernel,
+        so results stay exact), ``"object"`` forces the exact
+        object-dtype kernel.  ``"int64"`` requires NumPy and is
+        rejected here — eagerly, through the same
+        :mod:`repro.circuits.backends` seam as ``backend`` — on
+        NumPy-less installs.
     ``workers``
         Shard batched sweeps across this many tasks on the database's
         shared worker pool (``None`` = serial).
@@ -41,6 +50,7 @@ class ExecOptions:
     """
 
     backend: str = "auto"
+    exact_mode: str = "auto"
     workers: Optional[int] = None
     optimize: bool = True
     strategy: Optional[str] = None
@@ -52,6 +62,7 @@ class ExecOptions:
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        validate_exact_mode(self.exact_mode)
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 (or None for serial)")
         if self.pool_size < 1:

@@ -298,7 +298,8 @@ class PreparedQuery:
 
     def batch(self, items: Sequence[Any], sr: Semiring,
               backend: Optional[str] = None,
-              workers: Optional[int] = None) -> List[Any]:
+              workers: Optional[int] = None,
+              exact_mode: Optional[str] = None) -> List[Any]:
         """N evaluations in one batched sweep.
 
         For a closed query, ``items`` are valuations — mappings of input
@@ -307,14 +308,15 @@ class PreparedQuery:
         parameterized query, ``items`` are argument tuples and the batch
         is the amortized point-query protocol of Theorem 8.
 
-        ``backend``/``workers`` override the prepared options for this
-        call; worker sharding runs on the database's shared pool, not a
-        per-call one.
+        ``backend``/``workers``/``exact_mode`` override the prepared
+        options for this call; worker sharding runs on the database's
+        shared pool, not a per-call one.
         """
         self._check()
         opts = self.options.merged(
             **{key: value for key, value in
-               (("backend", backend), ("workers", workers))
+               (("backend", backend), ("workers", workers),
+                ("exact_mode", exact_mode))
                if value is not None})
         executor = self.db._executor_for(opts.workers)
         if self.params:
@@ -326,14 +328,14 @@ class PreparedQuery:
                 try:
                     return engine.query_batch(
                         items, backend=opts.backend, workers=opts.workers,
-                        executor=executor)
+                        executor=executor, exact_mode=opts.exact_mode)
                 except RuntimeError:
                     if engine.closed:
                         continue
                     raise
         return self._closed_plan().evaluate_batch(
             sr, items, backend=opts.backend, workers=opts.workers,
-            executor=executor)
+            executor=executor, exact_mode=opts.exact_mode)
 
     def bind(self, *args, **kwargs) -> "BoundQuery":
         """Bind the query's parameters to concrete elements.
@@ -460,8 +462,15 @@ class PreparedQuery:
                          "queries compile per semiring on first use)")
         opts = self.options
         lines.append(f"  options: backend={opts.backend!r} "
+                     f"exact_mode={opts.exact_mode!r} "
                      f"workers={opts.workers} optimize={opts.optimize} "
                      f"strategy={opts.strategy}")
+        kernel = stats.get("exact_kernel")
+        if kernel is not None:
+            lines.append(
+                f"  exact kernel: requested {kernel['requested']!r}, ran "
+                f"{kernel['used']!r} ({kernel['fallbacks']} fallback(s) "
+                f"over {kernel['batches']} batch(es))")
         lines.append(f"  shared caches: plan={self.db.plan_cache.stats()}")
         if self.db.result_cache is not None:
             lines.append(f"                 result="

@@ -1,6 +1,7 @@
 """Circuits with permanent gates (system S6)."""
 
-from .backends import VALID_BACKENDS, validate_backend
+from .backends import (VALID_BACKENDS, VALID_EXACT_MODES, validate_backend,
+                       validate_exact_mode)
 from .evaluation import (BatchedEvaluator, DynamicEvaluator, StaticEvaluator,
                          Valuation, valuation_from_dict)
 from .gates import (AddGate, Circuit, CircuitBuilder, ConstGate, GateId,
@@ -21,6 +22,7 @@ __all__ = [
     "LayerSchedule", "Layer", "GateGroup", "build_schedule",
     "VectorizedEvaluator", "ArrayKernel", "kernel_for", "register_kernel",
     "HAVE_NUMPY", "validate_backend", "VALID_BACKENDS",
+    "validate_exact_mode", "VALID_EXACT_MODES",
     "optimize_circuit", "OptimizeResult", "RewritePass",
     "ConstantFoldPass", "FlattenPass", "CommonSubexpressionPass",
     "PASSES", "DEFAULT_PIPELINE",

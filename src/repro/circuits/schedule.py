@@ -90,12 +90,24 @@ class LayerSchedule:
     def stats(self) -> Dict[str, Any]:
         widest = max((layer.gate_count() for layer in self.layers), default=0)
         groups = sum(len(layer.groups) for layer in self.layers)
+        kinds: Dict[str, int] = {}
+        reducible = 0
+        for layer in self.layers:
+            for group in layer.groups:
+                kinds[group.kind] = kinds.get(group.kind, 0) \
+                    + len(group.gate_ids)
+                if group.kind in (KIND_ADD, KIND_MUL):
+                    reducible += len(group.gate_ids)
         return {
             "layers": len(self.layers),
             "live_gates": self.live_count(),
             "widest_layer": widest,
             "groups": groups,
             "inputs": len(self.input_gates),
+            #: per-kind gate counts — the group metadata the guarded
+            #: kernels reduce over (add/mul are the checked reductions).
+            "gate_kinds": kinds,
+            "reducible_gates": reducible,
         }
 
     def validate(self) -> None:

@@ -19,15 +19,17 @@ relations — the input models of Theorems 8 and 24.
 from __future__ import annotations
 
 import itertools
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .._compat import warn_deprecated
-from ..circuits import (HAVE_NUMPY, BatchedEvaluator, Circuit, CircuitBuilder,
-                        DynamicEvaluator, LayerSchedule, StaticEvaluator,
-                        VectorizedEvaluator, build_schedule, kernel_for,
-                        optimize_circuit, validate_backend)
+from ..circuits import (HAVE_NUMPY, ArrayKernel, BatchedEvaluator, Circuit,
+                        CircuitBuilder, DynamicEvaluator, LayerSchedule,
+                        StaticEvaluator, VectorizedEvaluator, build_schedule,
+                        kernel_for, optimize_circuit, validate_backend,
+                        validate_exact_mode)
 from ..graphs import low_treedepth_coloring
 from ..logic import Block, normalize
 from ..logic.weighted import WExpr
@@ -69,9 +71,17 @@ class CompiledQuery:
     #: bumped by every recorded-input mutation (weight updates, relation
     #: toggles); versions the memoized base valuations below.
     _input_version: int = field(default=0, repr=False, compare=False)
-    #: semiring -> [version, base valuation dict, PreparedBase or None].
+    #: semiring -> [version, base valuation dict,
+    #: {kernel name: PreparedBase}] (guarded fast-path kernels and the
+    #: object kernel have different dtypes, so each keeps its own column).
     _base_cache: Dict[Any, list] = field(default_factory=dict, repr=False,
                                          compare=False)
+    #: accumulated vectorized-kernel telemetry ("requested"/"used" kernel
+    #: names, guard-trip "fallbacks", "batches"), surfaced via stats().
+    _kernel_stats: Dict[str, Any] = field(default_factory=dict, repr=False,
+                                          compare=False)
+    _kernel_stats_lock: Any = field(default_factory=threading.Lock,
+                                    repr=False, compare=False)
 
     def schedule(self) -> LayerSchedule:
         """The circuit's layer schedule, computed once and cached."""
@@ -85,19 +95,19 @@ class CompiledQuery:
         self._input_version += 1
 
     def _cached_entry(self, sr: Semiring) -> list:
-        """The memoized ``[version, base valuation, PreparedBase|None]``
+        """The memoized ``[version, base valuation, {kernel: PreparedBase}]``
         entry for ``sr``, rebuilt when an update has staled it.
 
         The base dict is shared across calls — callers must treat it as
         read-only (the batched evaluators overlay copies).  Entries go
         stale the moment an update lands; a concurrent in-flight batch
         may still read the old base, which is the documented serving
-        semantics.  Derived state (the prepared column) is always built
+        semantics.  Derived state (the prepared columns) is always built
         from and stored into *one* entry object, so a stale base can
         never be planted in a fresh entry by a racing thread."""
         entry = self._base_cache.get(sr)
         if entry is None or entry[0] != self._input_version:
-            entry = [self._input_version, self.input_valuation(sr), None]
+            entry = [self._input_version, self.input_valuation(sr), {}]
             self._base_cache[sr] = entry
         return entry
 
@@ -105,13 +115,28 @@ class CompiledQuery:
         """Memoized :meth:`input_valuation` for the batched hot path."""
         return self._cached_entry(sr)[1]
 
-    def _cached_override_base(self, sr: Semiring):
-        """Memoized :class:`PreparedBase` for the numpy override path."""
+    def _cached_override_base(self, sr: Semiring, kernel: ArrayKernel):
+        """Memoized :class:`PreparedBase` for the numpy override path,
+        keyed by the kernel (fast-path and object columns differ)."""
         entry = self._cached_entry(sr)
-        if entry[2] is None:
-            entry[2] = VectorizedEvaluator.prepare_base(
-                self.circuit, sr, entry[1], schedule=self.schedule())
-        return entry[2]
+        prepared = entry[2].get(kernel.name)
+        if prepared is None:
+            prepared = VectorizedEvaluator.prepare_base(
+                self.circuit, sr, entry[1], schedule=self.schedule(),
+                kernel=kernel)
+            entry[2][kernel.name] = prepared
+        return prepared
+
+    def _note_kernel(self, evaluator: VectorizedEvaluator) -> None:
+        """Fold one vectorized evaluation's kernel telemetry into the
+        accumulated stats (which kernel ran, how many guard trips)."""
+        with self._kernel_stats_lock:
+            stats = self._kernel_stats
+            stats["requested"] = evaluator.kernel_requested
+            stats["used"] = evaluator.kernel_used
+            stats["fallbacks"] = (stats.get("fallbacks", 0)
+                                  + evaluator.fallbacks)
+            stats["batches"] = stats.get("batches", 0) + 1
 
     def input_valuation(self, sr: Semiring) -> Dict[Hashable, Any]:
         """Carrier values for every recorded input gate."""
@@ -128,7 +153,8 @@ class CompiledQuery:
     def evaluate_batch(self, sr: Semiring, valuations: Sequence[Any],
                        backend: str = "auto",
                        workers: Optional[int] = None,
-                       executor: Optional[Any] = None) -> List[Any]:
+                       executor: Optional[Any] = None,
+                       exact_mode: str = "auto") -> List[Any]:
         """Evaluate the circuit under N valuations in one batched pass.
 
         Each element of ``valuations`` is either a mapping of input keys
@@ -155,46 +181,55 @@ class CompiledQuery:
         down) a fresh thread pool per call — the hot-path form used by
         :class:`repro.api.Database`, which owns one pool for its whole
         lifetime.  The executor is not shut down here.
+
+        ``exact_mode`` selects the vectorized kernel for the exact
+        carriers (``N``/``Z``/``Q``): ``"auto"``/``"int64"`` pick the
+        overflow-guarded native fast path (results stay exact — a guard
+        trip transparently re-runs on the object kernel), ``"object"``
+        forces the exact object-dtype kernel.  Validated eagerly through
+        the same seam as ``backend`` (:mod:`repro.circuits.backends`).
         """
         validate_backend(backend)
+        validate_exact_mode(exact_mode)
         valuations = list(valuations)
-        use_numpy = False
+        kernel = None
         if backend != "python":
-            if kernel_for(sr) is not None:
-                use_numpy = True
-            elif backend == "numpy":
+            kernel = kernel_for(sr, exact_mode)
+            if kernel is None and backend == "numpy":
                 raise RuntimeError(
                     f"backend='numpy' unavailable: numpy is not installed "
                     f"or semiring {sr.name} has no array kernel")
         if workers is not None and workers > 1 and len(valuations) > 1:
-            if use_numpy:
+            if kernel is not None:
                 self.schedule()  # build once, outside the pool
             size = -(-len(valuations) // workers)  # ceil division
             chunks = [valuations[i:i + size]
                       for i in range(0, len(valuations), size)]
             if executor is not None:
                 parts = list(executor.map(
-                    lambda chunk: self._evaluate_chunk(sr, chunk, use_numpy),
+                    lambda chunk: self._evaluate_chunk(sr, chunk, kernel),
                     chunks))
             else:
                 with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
                     parts = list(pool.map(
                         lambda chunk: self._evaluate_chunk(sr, chunk,
-                                                           use_numpy),
+                                                           kernel),
                         chunks))
             return [value for part in parts for value in part]
-        return self._evaluate_chunk(sr, valuations, use_numpy)
+        return self._evaluate_chunk(sr, valuations, kernel)
 
     def _evaluate_chunk(self, sr: Semiring, valuations: List[Any],
-                        use_numpy: bool) -> List[Any]:
+                        kernel: Optional[ArrayKernel]) -> List[Any]:
         zero = sr.zero
-        if use_numpy and not any(callable(v) for v in valuations):
+        if kernel is not None and not any(callable(v) for v in valuations):
             # Sparse-override fast path: the precomputed (memoized) base
             # input column is broadcast once, then only the per-valuation
             # edits are written.
-            return VectorizedEvaluator.from_overrides(
-                self.circuit, sr, self._cached_override_base(sr), valuations,
-                schedule=self.schedule()).results()
+            evaluator = VectorizedEvaluator.from_overrides(
+                self.circuit, sr, self._cached_override_base(sr, kernel),
+                valuations, schedule=self.schedule(), kernel=kernel)
+            self._note_kernel(evaluator)
+            return evaluator.results()
         base = self._cached_input_valuation(sr)
         fns = []
         for valuation in valuations:
@@ -204,9 +239,12 @@ class CompiledQuery:
                 overlay = dict(base)
                 overlay.update(valuation)
                 fns.append(lambda key, _o=overlay: _o.get(key, zero))
-        if use_numpy:
-            return VectorizedEvaluator(self.circuit, sr, fns,
-                                       schedule=self.schedule()).results()
+        if kernel is not None:
+            evaluator = VectorizedEvaluator(self.circuit, sr, fns,
+                                            schedule=self.schedule(),
+                                            kernel=kernel)
+            self._note_kernel(evaluator)
+            return evaluator.results()
         return BatchedEvaluator(self.circuit, sr, fns).results()
 
     def dynamic(self, sr: Semiring, strategy: Optional[str] = None,
@@ -243,6 +281,9 @@ class CompiledQuery:
         info["colors"] = len(set(self.coloring.values())) if self.coloring else 0
         info["max_forest_height"] = max(
             (forest.height() for _, forest in self.forests), default=0)
+        with self._kernel_stats_lock:
+            if self._kernel_stats:
+                info["exact_kernel"] = dict(self._kernel_stats)
         return info
 
     # -- update routing ---------------------------------------------------------

@@ -25,7 +25,7 @@ import itertools
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
 
 from .._compat import warn_deprecated
-from ..circuits import validate_backend
+from ..circuits import validate_backend, validate_exact_mode
 from ..core import CompiledQuery, DynamicQuery, _compile_structure_query
 from ..logic.weighted import Sum, WExpr, WMul, Weight
 from ..semirings import Semiring
@@ -215,7 +215,8 @@ class WeightedQueryEngine:
     def query_batch(self, argument_tuples: Sequence[Sequence[Hashable]],
                     backend: str = "auto",
                     workers: Optional[int] = None,
-                    executor: Optional[Any] = None) -> list:
+                    executor: Optional[Any] = None,
+                    exact_mode: str = "auto") -> list:
         """``[f(a) for a in argument_tuples]`` in one batched circuit pass.
 
         Each argument tuple is turned into a valuation that sets its
@@ -230,10 +231,13 @@ class WeightedQueryEngine:
         ``"auto"`` picks the best available for the semiring; ``workers``
         shards the batch across a thread pool (``executor`` lends an
         existing pool for the sharding — see
-        :meth:`CompiledQuery.evaluate_batch`).  The backend string is
+        :meth:`CompiledQuery.evaluate_batch`).  ``exact_mode`` picks the
+        vectorized kernel for the exact carriers (guarded int64 fast
+        path vs object dtype; see ``evaluate_batch``).  Both strings are
         validated eagerly, before any selector valuation is built.
         """
         validate_backend(backend)
+        validate_exact_mode(exact_mode)
         self._check_open()
         one = self.sr.one
         domain = set(self.structure.domain)
@@ -255,7 +259,8 @@ class WeightedQueryEngine:
                                                         arguments)})
         return self.compiled.evaluate_batch(self.sr, valuations,
                                             backend=backend, workers=workers,
-                                            executor=executor)
+                                            executor=executor,
+                                            exact_mode=exact_mode)
 
     # -- updates ----------------------------------------------------------------
 

@@ -40,7 +40,7 @@ from concurrent.futures import Future
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .._compat import warn_deprecated
-from ..circuits import validate_backend
+from ..circuits import validate_backend, validate_exact_mode
 from ..engine import WeightedQueryEngine
 from ..logic.weighted import WExpr
 from ..semirings import Semiring
@@ -85,18 +85,21 @@ class QueryService:
               max_batch_size: int = 64,
               max_batch_delay: float = 0.002,
               backend: str = "auto",
+              exact_mode: str = "auto",
               plan_cache: Optional[PlanCache] = None,
               result_cache_size: int = 1024,
               result_cache: Optional[Any] = None,
               workers: Optional[int] = None,
               executor: Optional[Any] = None):
         validate_backend(backend)
+        validate_exact_mode(exact_mode)
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self.sr = sr
         self.backend = backend
+        self.exact_mode = exact_mode
         self.max_batch_size = int(max_batch_size)
         self.max_batch_delay = float(max_batch_delay)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
@@ -228,7 +231,8 @@ class QueryService:
         try:
             results = engine.query_batch(unique, backend=self.backend,
                                          workers=self._workers,
-                                         executor=self._executor)
+                                         executor=self._executor,
+                                         exact_mode=self.exact_mode)
         except BaseException as error:  # noqa: BLE001 - delivered to callers
             for waiters in groups.values():
                 for future, _ in waiters:
@@ -363,6 +367,12 @@ class QueryService:
         info["epoch"] = self._epoch
         info["pool_size"] = len(self.engines)
         info["backend"] = self.backend
+        info["exact_mode"] = self.exact_mode
+        # Which vectorized kernel actually served the batches (and how
+        # many guard trips fell back to the exact object kernel).
+        kernel = self.engines[0].stats().get("exact_kernel")
+        if kernel is not None:
+            info["exact_kernel"] = kernel
         info["plan_cache"] = self.plan_cache.stats()
         if self.result_cache is not None:
             info["result_cache"] = self.result_cache.stats()

@@ -1,10 +1,24 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+import os
 
 import pytest
+from hypothesis import settings
 
 from repro.graphs import path_graph, triangulated_grid
 
 from tests.util import weighted_graph_structure
+
+# CI wants reproducible property tests: ``derandomize`` fixes the seed so
+# a red run is the same red run on re-execution, at the default example
+# budget.  ``nightly`` spends a larger budget with fresh randomness — the
+# profile for the slow-marked deep sweeps.  Select with
+# ``REPRO_HYPOTHESIS_PROFILE=nightly`` (default: ci).
+settings.register_profile("ci", derandomize=True, deadline=None,
+                          max_examples=50)
+settings.register_profile("nightly", derandomize=False, deadline=None,
+                          max_examples=400)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

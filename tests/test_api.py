@@ -537,6 +537,65 @@ class TestUpdateRouting:
                 thread.join()
             assert not errors
 
+    def test_concurrent_binds_under_routed_updates_no_stale_no_leaks(self):
+        """Hammer one Database handle from many reader threads while a
+        writer routes ``db.update()`` weight writes through the facade
+        hot path — with the shared result cache *enabled*, so the
+        epoch-tagging is what stands between a racing bind and a stale
+        cached point.  Afterwards every bind must reflect the final
+        routed state (no stale cached points) and the host structure
+        must carry no selector weights (no leaks), alive or closed."""
+        structure = build(4)
+        edges = sorted(structure.relations["E"])
+        with Database(structure) as db:
+            prepared = db.prepare(DEGREE)
+            errors = []
+            stop = threading.Event()
+
+            def reader(seed):
+                rng = random.Random(seed)
+                try:
+                    while not stop.is_set():
+                        v = rng.choice(structure.domain)
+                        value = prepared.bind(v).value(NATURAL)
+                        if not isinstance(value, int) or value < 0:
+                            errors.append(("reader", v, value))
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            def writer(seed):
+                rng = random.Random(1000 + seed)
+                try:
+                    for round_ in range(20):
+                        with db.update() as tx:
+                            for edge in rng.sample(edges, 3):
+                                tx.set_weight("w", edge, rng.randint(1, 9))
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            readers = [threading.Thread(target=reader, args=(seed,))
+                       for seed in range(6)]
+            writers = [threading.Thread(target=writer, args=(seed,))
+                       for seed in range(2)]
+            for thread in readers + writers:
+                thread.start()
+            for thread in writers:
+                thread.join()
+            stop.set()
+            for thread in readers:
+                thread.join()
+            assert not errors
+            # No stale cached points: every post-quiescence bind agrees
+            # with a from-scratch reference over the final weights.
+            for v in structure.domain:
+                assert prepared.bind(v).value(NATURAL) \
+                    == reference_degree(structure, v)
+            # No selector leaks on the facade's host structure — the
+            # engines live on snapshots, never on the caller's structure.
+            assert not any(name.startswith("_sel")
+                           for name in structure.weights)
+        assert not any(name.startswith("_sel") for name in structure.weights)
+
     def test_update_context_reports_touched(self):
         structure = build(3)
         edges = sorted(structure.relations["E"])[:2]

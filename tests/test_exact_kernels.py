@@ -1,0 +1,422 @@
+"""The overflow-guarded exact-carrier fast paths (repro.circuits.vectorized).
+
+Three families:
+
+* a hypothesis equivalence suite proving the int64 fast path, the exact
+  object-dtype kernel, and the pure-Python backend agree on random
+  circuits under random valuations for ``N``/``Z``/``Q`` — with a
+  dedicated strategy that straddles the int64 (and, for ``Q``, the
+  2^53 float) overflow boundary so the guarded fallback branch is
+  actually exercised, plus a slow-marked deep sweep for the nightly
+  hypothesis profile (see ``tests/conftest.py``);
+* deterministic unit tests of the guards themselves: exact boundary
+  values (``2^63 - 1`` stays native, ``2^63`` trips), negative products,
+  the ``INT64_MIN * -1`` wraparound that defeats naive division checks,
+  ``Q`` denominator blow-ups, mixed-layer circuits where only one layer
+  overflows, and the fallback telemetry surfaced through
+  ``stats()``/``explain()``;
+* eager validation of the ``exact_mode`` knob through the one shared
+  seam (:mod:`repro.circuits.backends`): unknown modes and
+  ``"int64"``-without-NumPy are both rejected at
+  :class:`~repro.api.ExecOptions` construction — these run (and matter
+  most) on the no-numpy CI leg.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.circuits.backends as backends_module
+from repro.api import Database, ExecOptions
+from repro.circuits import (HAVE_NUMPY, BatchedEvaluator, CircuitBuilder,
+                            VectorizedEvaluator, kernel_for,
+                            valuation_from_dict, validate_exact_mode)
+from repro.logic.weighted import WConst
+from repro.semirings import INTEGER, NATURAL, RATIONAL
+
+from tests.test_properties import circuits
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+INT64_MAX = 2 ** 63 - 1
+INT64_MIN = -(2 ** 63)
+
+
+def build_sum(*keys):
+    """One add gate over fresh inputs."""
+    builder = CircuitBuilder()
+    return builder.build(builder.add([builder.input(k) for k in keys])), keys
+
+
+def build_product(*keys):
+    """One mul gate over fresh inputs."""
+    builder = CircuitBuilder()
+    return builder.build(builder.mul([builder.input(k) for k in keys])), keys
+
+
+def run_all_paths(circuit, sr, assignments):
+    """(python, object-kernel, int64-kernel evaluator) for one batch."""
+    valuations = [valuation_from_dict(a, sr.zero) for a in assignments]
+    python = BatchedEvaluator(circuit, sr, valuations).results()
+    exact = VectorizedEvaluator(circuit, sr, valuations,
+                                kernel=kernel_for(sr, "object"))
+    fast = VectorizedEvaluator(circuit, sr, valuations,
+                               kernel=kernel_for(sr, "int64"))
+    return python, exact, fast
+
+
+# -- hypothesis: the three paths agree, straddling the overflow boundary --------
+
+#: Values concentrated around the int64 (and 2^53) boundaries, mixed
+#: with small counting weights: products and sums of a handful of these
+#: routinely cross 2^63, so the guarded fallback branch runs for real.
+def straddling_naturals():
+    return st.one_of(
+        st.integers(0, 9),
+        st.integers(2 ** 31, 2 ** 32),        # pairs overflow products
+        st.integers(2 ** 62, 2 ** 63 + 2),    # straddles the add boundary
+        st.integers(2 ** 63, 2 ** 70),        # beyond int64 entirely
+    )
+
+
+def straddling_integers():
+    magnitude = straddling_naturals()
+    return st.builds(lambda v, neg: -v if neg else v,
+                     magnitude, st.booleans()) | st.just(INT64_MIN)
+
+
+def straddling_rationals():
+    return st.one_of(
+        straddling_integers().map(Fraction),
+        st.integers(2 ** 52, 2 ** 54).map(Fraction),  # the float window edge
+        st.fractions(min_value=-10, max_value=10, max_denominator=12),
+    )
+
+
+STRADDLE_CASES = [
+    ("N", NATURAL, straddling_naturals),
+    ("Z", INTEGER, straddling_integers),
+    ("Q", RATIONAL, straddling_rationals),
+]
+
+
+def _assert_three_way(sr, data):
+    circuit, keys = data.draw(circuits())
+    strategy = {name: strat for name, _, strat in STRADDLE_CASES}[sr.name]()
+    batch = data.draw(st.integers(1, 4))
+    assignments = [{key: data.draw(strategy) for key in keys}
+                   for _ in range(batch)]
+    python, exact, fast = run_all_paths(circuit, sr, assignments)
+    for a, b, c in zip(python, exact.results(), fast.results()):
+        assert sr.eq(a, b), (sr.name, a, b)
+        assert sr.eq(a, c), (sr.name, a, c)
+    # The native path may have promoted mid-run; its telemetry must say so.
+    assert fast.kernel_requested.endswith(("-int64", "-f64int"))
+    if fast.fallbacks:
+        assert fast.kernel_used == f"{sr.name}-object"
+
+
+@needs_numpy
+@pytest.mark.parametrize("sr", [sr for _, sr, _ in STRADDLE_CASES],
+                         ids=[name for name, _, _ in STRADDLE_CASES])
+@given(data=st.data())
+def test_fast_path_exact_across_overflow_boundary(sr, data):
+    _assert_three_way(sr, data)
+
+
+@needs_numpy
+@pytest.mark.slow
+@pytest.mark.parametrize("sr", [sr for _, sr, _ in STRADDLE_CASES],
+                         ids=[name for name, _, _ in STRADDLE_CASES])
+@settings(max_examples=200)
+@given(data=st.data())
+def test_fast_path_exact_deep_sweep(sr, data):
+    """The nightly-budget version of the three-way equivalence sweep."""
+    _assert_three_way(sr, data)
+
+
+@needs_numpy
+@given(data=st.data())
+def test_override_path_matches_full_batch(data):
+    """from_overrides (the serving hot path) agrees with the full-batch
+    constructor and the pure-Python backend under straddling edits."""
+    circuit, keys = data.draw(circuits())
+    strategy = straddling_integers()
+    base = {key: data.draw(strategy) for key in keys}
+    overrides = [
+        {key: data.draw(strategy)
+         for key in data.draw(st.lists(st.sampled_from(list(keys)),
+                                       unique=True, max_size=len(keys)))}
+        for _ in range(data.draw(st.integers(1, 3)))]
+    evaluator = VectorizedEvaluator.from_overrides(
+        circuit, INTEGER, base, overrides,
+        kernel=kernel_for(INTEGER, "int64"))
+    expected = BatchedEvaluator(circuit, INTEGER, [
+        valuation_from_dict({**base, **override}, 0)
+        for override in overrides]).results()
+    assert evaluator.results() == expected
+
+
+# -- deterministic guard unit tests ---------------------------------------------
+
+@needs_numpy
+class TestInt64Guard:
+    def test_sum_landing_on_int64_max_stays_native(self):
+        circuit, _ = build_sum("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, NATURAL, [{"u": 2 ** 62, "v": 2 ** 62 - 1}])
+        assert python == exact.results() == fast.results() == [INT64_MAX]
+        assert fast.fallbacks == 0
+        assert fast.kernel_used == "N-int64"
+
+    def test_sum_one_past_int64_max_falls_back_exactly(self):
+        circuit, _ = build_sum("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, NATURAL, [{"u": 2 ** 62, "v": 2 ** 62}])
+        assert python == exact.results() == fast.results() == [2 ** 63]
+        assert fast.fallbacks == 1
+        assert fast.kernel_used == "N-object"
+
+    def test_negative_sum_boundary(self):
+        circuit, _ = build_sum("u", "v")
+        keep = [{"u": INT64_MIN + 1, "v": -1}]   # lands exactly on INT64_MIN
+        trip = [{"u": INT64_MIN, "v": -1}]       # one past it
+        for assignments, fallbacks in ((keep, 0), (trip, 1)):
+            python, exact, fast = run_all_paths(circuit, INTEGER, assignments)
+            assert python == exact.results() == fast.results()
+            assert fast.fallbacks == fallbacks
+
+    def test_negative_product_overflow_detected(self):
+        circuit, _ = build_product("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, INTEGER, [{"u": -(2 ** 32), "v": 2 ** 32}])
+        assert python == exact.results() == fast.results() == [-(2 ** 64)]
+        assert fast.fallbacks == 1
+
+    def test_negative_product_landing_on_int64_min_stays_native(self):
+        circuit, _ = build_product("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, INTEGER, [{"u": -(2 ** 31), "v": 2 ** 32}])
+        assert python == exact.results() == fast.results() == [INT64_MIN]
+        assert fast.fallbacks == 0
+
+    def test_int64_min_times_minus_one_wraparound_detected(self):
+        # The one product whose division-based check itself overflows:
+        # INT64_MIN * -1 wraps back to INT64_MIN and INT64_MIN // -1
+        # cannot be computed in int64 — the guard masks it explicitly.
+        circuit, _ = build_product("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, INTEGER, [{"u": INT64_MIN, "v": -1}])
+        assert python == exact.results() == fast.results() == [2 ** 63]
+        assert fast.fallbacks == 1
+
+    def test_inputs_beyond_int64_fall_back_before_any_gate(self):
+        circuit, _ = build_sum("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, NATURAL, [{"u": 2 ** 100, "v": 1}])
+        assert python == exact.results() == fast.results() == [2 ** 100 + 1]
+        assert fast.fallbacks == 1
+        assert fast.kernel_used == "N-object"
+
+    def test_mixed_layer_circuit_promotes_at_the_overflowing_layer(self):
+        # Layer 1: two in-range sums.  Layer 2: their product overflows.
+        # The guard must trip exactly once, at the product layer, and the
+        # result must equal the exact backends'.
+        builder = CircuitBuilder()
+        a = builder.add([builder.input("a1"), builder.input("a2")])
+        b = builder.add([builder.input("b1"), builder.input("b2")])
+        circuit = builder.build(builder.mul([a, b]))
+        assignments = [{"a1": 2 ** 31, "a2": 2 ** 31,
+                        "b1": 2 ** 31, "b2": 2 ** 31}]
+        python, exact, fast = run_all_paths(circuit, NATURAL, assignments)
+        assert python == exact.results() == fast.results() == [2 ** 64]
+        assert fast.fallbacks == 1
+        assert fast.kernel_requested == "N-int64"
+        assert fast.kernel_used == "N-object"
+
+    def test_batch_isolation_one_hot_row_demotes_whole_batch_exactly(self):
+        # One overflowing row in a 5-row batch: everything stays exact.
+        circuit, _ = build_product("u", "v")
+        assignments = [{"u": i, "v": i + 1} for i in range(4)]
+        assignments.append({"u": 2 ** 40, "v": 2 ** 40})
+        python, exact, fast = run_all_paths(circuit, NATURAL, assignments)
+        assert python == exact.results() == fast.results()
+        assert fast.results()[-1] == 2 ** 80
+
+
+@needs_numpy
+class TestRationalGuard:
+    def test_integer_rationals_ride_the_float_fast_path(self):
+        circuit, _ = build_product("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, RATIONAL, [{"u": Fraction(6), "v": Fraction(7)}])
+        assert python == exact.results() == fast.results() == [Fraction(42)]
+        assert fast.fallbacks == 0
+        assert fast.kernel_used == "Q-f64int"
+        assert all(isinstance(v, Fraction) for v in fast.results())
+
+    def test_denominator_blow_up_falls_back_before_losing_precision(self):
+        circuit, _ = build_sum("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, RATIONAL,
+            [{"u": Fraction(1, 3), "v": Fraction(1, 10 ** 12 + 39)}])
+        assert python == exact.results() == fast.results()
+        assert fast.fallbacks == 1
+        assert fast.kernel_used == "Q-object"
+
+    def test_product_leaving_the_exact_float_window_trips(self):
+        circuit, _ = build_product("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, RATIONAL,
+            [{"u": Fraction(2 ** 30), "v": Fraction(2 ** 30)}])
+        assert python == exact.results() == fast.results() \
+            == [Fraction(2 ** 60)]
+        assert fast.fallbacks == 1
+
+    def test_promote_is_total_over_uninitialized_garbage(self):
+        # Mid-run promotion walks the whole np.empty value array; slots
+        # of not-yet-computed (and dead) gates hold heap garbage that
+        # may be NaN/Inf.  promote must map them to placeholders (they
+        # are overwritten before any read), never raise.
+        import numpy as np
+        kernel = kernel_for(RATIONAL, "int64")
+        garbage = np.array([[7.0, np.nan], [np.inf, -np.inf]])
+        promoted = kernel.promote(garbage)
+        assert promoted[0][0] == Fraction(7)
+        assert all(isinstance(v, Fraction) for v in promoted.ravel())
+
+    def test_guard_trip_survives_nan_poisoned_heap(self):
+        # The end-to-end shape of the same bug: poison the allocator
+        # with NaNs, then force a mid-run f64 guard trip — the fallback
+        # must run, not crash in the promotion.
+        import numpy as np
+        poison = [np.full(4096, np.nan) for _ in range(32)]
+        del poison
+        circuit, _ = build_product("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, RATIONAL,
+            [{"u": Fraction(2 ** 40), "v": Fraction(2 ** 40)}])
+        assert python == exact.results() == fast.results() \
+            == [Fraction(2 ** 80)]
+        assert fast.fallbacks == 1
+
+    def test_sum_inside_the_window_is_exact_and_native(self):
+        circuit, _ = build_sum("u", "v")
+        python, exact, fast = run_all_paths(
+            circuit, RATIONAL,
+            [{"u": Fraction(2 ** 52), "v": Fraction(2 ** 52 - 1)}])
+        assert python == exact.results() == fast.results() \
+            == [Fraction(2 ** 53 - 1)]
+        assert fast.fallbacks == 0
+
+
+@needs_numpy
+class TestTelemetry:
+    def test_prepared_base_records_demotion(self):
+        circuit, _ = build_sum("u", "v")
+        kernel = kernel_for(NATURAL, "int64")
+        small = VectorizedEvaluator.prepare_base(circuit, NATURAL,
+                                                 {"u": 1, "v": 2},
+                                                 kernel=kernel)
+        assert small.kernel_name == "N-int64"
+        huge = VectorizedEvaluator.prepare_base(circuit, NATURAL,
+                                                {"u": 2 ** 90, "v": 2},
+                                                kernel=kernel)
+        assert huge.kernel_name == "N-object"
+
+    def test_stats_and_explain_report_kernel_and_fallbacks(
+            self, small_grid_structure):
+        from repro.logic import Atom, Bracket, Sum, Weight
+        edge_sum = Sum(("x", "y"),
+                       Bracket(Atom("E", ("x", "y"))) * Weight("w",
+                                                               ("x", "y")))
+        edges = sorted(small_grid_structure.relations["E"])
+        with Database(small_grid_structure) as db:
+            q = db.prepare(edge_sum)
+            q.batch([{("w", "w", edges[0]): 5}, {}], NATURAL)
+            stats = q.stats()["exact_kernel"]
+            assert stats["requested"] == "N-int64"
+            assert stats["used"] == "N-int64"
+            assert stats["fallbacks"] == 0
+            assert stats["batches"] == 1
+            q.batch([{("w", "w", edges[0]): 2 ** 70}], NATURAL)
+            stats = q.stats()["exact_kernel"]
+            assert stats["fallbacks"] == 1
+            assert stats["used"] == "N-object"
+            text = q.explain()
+            assert "exact kernel" in text and "1 fallback(s)" in text
+
+    def test_service_stats_surface_exact_mode_and_kernel(
+            self, small_grid_structure):
+        from repro.logic import Atom, Bracket, Sum, Weight
+        degree = Sum("y", Bracket(Atom("E", ("x", "y"))) * Weight("w",
+                                                                  ("x", "y")))
+        with Database(small_grid_structure) as db:
+            with db.serve(degree, NATURAL, exact_mode="auto") as service:
+                vertex = small_grid_structure.domain[0]
+                service.query(vertex)
+                stats = service.stats()
+                assert stats["exact_mode"] == "auto"
+                assert stats["exact_kernel"]["requested"] == "N-int64"
+                assert stats["exact_kernel"]["fallbacks"] == 0
+
+    def test_schedule_stats_expose_reduction_group_metadata(
+            self, small_grid_structure):
+        from repro.logic import Atom, Bracket, Sum, Weight
+        edge_sum = Sum(("x", "y"),
+                       Bracket(Atom("E", ("x", "y"))) * Weight("w",
+                                                               ("x", "y")))
+        with Database(small_grid_structure) as db:
+            stats = db.prepare(edge_sum).plan().schedule().stats()
+            assert stats["gate_kinds"]["input"] == stats["inputs"]
+            assert stats["reducible_gates"] == \
+                stats["gate_kinds"].get("add", 0) \
+                + stats["gate_kinds"].get("mul", 0)
+
+
+# -- eager exact_mode validation (the shared backends seam) ----------------------
+
+class TestExactModeValidation:
+    def test_unknown_exact_mode_rejected_everywhere(self,
+                                                    small_grid_structure):
+        with pytest.raises(ValueError, match="unknown exact_mode"):
+            ExecOptions(exact_mode="int32")
+        with pytest.raises(ValueError, match="unknown exact_mode"):
+            validate_exact_mode("float128")
+        with Database(small_grid_structure) as db:
+            prepared = db.prepare(WConst(1))
+            with pytest.raises(ValueError, match="unknown exact_mode"):
+                prepared.batch([{}], NATURAL, exact_mode="int32")
+
+    def test_int64_requires_numpy_same_eager_error_as_unknown_backends(
+            self, monkeypatch):
+        """The no-numpy contract: ``exact_mode='int64'`` must be rejected
+        at ExecOptions construction — through the one shared
+        ``repro.circuits.backends`` seam, with the same eager ValueError
+        shape as an unknown backend — never accepted only to degrade or
+        fail later.  Simulated on the numpy leg, real on the no-numpy leg.
+        """
+        monkeypatch.setattr(backends_module, "_HAVE_NUMPY", False)
+        with pytest.raises(ValueError, match="requires numpy"):
+            ExecOptions(exact_mode="int64")
+        with pytest.raises(ValueError, match="requires numpy"):
+            validate_exact_mode("int64")
+        # The other modes stay valid without numpy.
+        assert ExecOptions(exact_mode="object").exact_mode == "object"
+        assert ExecOptions(exact_mode="auto").exact_mode == "auto"
+
+    @pytest.mark.skipif(HAVE_NUMPY, reason="the real no-numpy leg")
+    def test_int64_rejected_for_real_without_numpy(self):
+        with pytest.raises(ValueError, match="requires numpy"):
+            ExecOptions(exact_mode="int64")
+
+    @needs_numpy
+    def test_exact_modes_accepted_with_numpy(self):
+        for mode in ("auto", "int64", "object"):
+            assert ExecOptions(exact_mode=mode).exact_mode == mode
+        assert kernel_for(NATURAL, "int64").name == "N-int64"
+        assert kernel_for(NATURAL, "object").name == "N-object"
+        assert kernel_for(NATURAL, "auto").name == "N-int64"
