@@ -1,13 +1,22 @@
-"""E-F1 (Theorem 6): linear-time compilation; bounded circuit parameters."""
+"""E-F1 (Theorem 6): linear-time compilation; bounded circuit parameters.
 
+Also measures the cold-vs-warm axis of the persistent plan store: a warm
+load (deserialize from disk) must be at least 5x faster than a fresh
+compile at the representative size — the whole point of persisting plans.
+"""
+
+import json
 import os
+import tempfile
 
 import pytest
 
 # The internal compile entry: this bench measures the Theorem 6
 # compiler itself, below the repro.api facade seam.
 from repro.core import _compile_structure_query as compile_structure_query
+from repro.core import plan_cache_key
 from repro.semirings import NATURAL
+from repro.serve import PlanStore
 
 from common import TRIANGLE, report, timed, triangle_workload
 
@@ -20,6 +29,42 @@ def test_compile_triangle(benchmark, side):
     benchmark.pedantic(
         lambda: compile_structure_query(structure, TRIANGLE),
         rounds=1, iterations=1)
+
+
+def test_plan_store_cold_vs_warm(capsys):
+    """Warm plan-store load >= 5x faster than a fresh compile.
+
+    Cold: compile once against an empty store (populates it).  Warm: a
+    fresh :class:`PlanStore` handle on the same directory — the
+    cross-process cold-start scenario — loads the plan from disk.  Both
+    legs must produce the same value, the warm leg must be counted as a
+    store hit, and at the representative size the load must beat the
+    compile by at least 5x.  The measured pair is printed as a
+    ``PLAN-STORE-REPORT`` line for ci_smoke to lift into BENCH_ci.json.
+    """
+    side = 6 if FAST else 8
+    structure = triangle_workload(side)
+    key = plan_cache_key(structure, TRIANGLE, frozenset(), True)
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_store = PlanStore(tmp)
+        compiled, cold = timed(compile_structure_query, structure, TRIANGLE,
+                               plan_store=cold_store)
+        assert cold_store.stats()["saves"] == 1
+
+        warm_store = PlanStore(tmp)  # fresh handle: no in-memory state
+        loaded, warm = timed(warm_store.load, key, structure, TRIANGLE)
+        assert loaded is not None, warm_store.stats()
+        assert warm_store.stats()["hits"] == 1
+
+        assert loaded.evaluate(NATURAL) == compiled.evaluate(NATURAL)
+        assert warm * 5 <= cold, (
+            f"warm plan-store load ({warm:.4f}s) is not >= 5x faster than "
+            f"a fresh compile ({cold:.4f}s) at side={side}")
+    record = {"side": side, "cold_compile_s": round(cold, 6),
+              "warm_load_s": round(warm, 6),
+              "speedup": round(cold / warm, 2)}
+    with capsys.disabled():
+        print(f"\nPLAN-STORE-REPORT {json.dumps(record)}")
 
 
 def test_linear_size_and_bounded_shape(capsys):

@@ -37,19 +37,19 @@ from .graphs import (grid_graph, path_graph, random_bounded_degree,
 from .logic import (Atom, Bracket, Eq, Sum, WConst, Weight, exists, forall,
                     neq)
 from .qe import eliminate_quantifiers
-from .serve import PlanCache, QueryService, ResultCache
+from .serve import PlanCache, PlanStore, QueryService, ResultCache
 from .semirings import (BOOLEAN, FLOAT, INTEGER, MAX_PLUS, MIN_PLUS, NATURAL,
                         RATIONAL, FreeSemiring, ModularRing, Semiring)
 from .structures import LabeledForest, Signature, Structure, graph_structure
 
-__version__ = "1.0.0"
+from ._version import __version__  # noqa: F401 - re-export
 
 __all__ = [
     "Database", "PreparedQuery", "BoundQuery", "MaintainedQuery",
     "UpdateContext", "ExecOptions",
     "compile_structure_query", "CompiledQuery", "DynamicQuery",
     "plan_cache_key",
-    "QueryService", "PlanCache", "ResultCache",
+    "QueryService", "PlanCache", "PlanStore", "ResultCache",
     "optimize_circuit", "OptimizeResult", "BatchedEvaluator",
     "StaticEvaluator", "VectorizedEvaluator", "LayerSchedule",
     "build_schedule", "HAVE_NUMPY",

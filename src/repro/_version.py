@@ -1,0 +1,8 @@
+"""The single source of the library version.
+
+Kept in a leaf module (no intra-package imports) so low-level modules —
+e.g. :mod:`repro.circuits.serialize`, which stamps persisted plans with
+the library version — can read it without importing the full package.
+"""
+
+__version__ = "1.0.0"

@@ -33,7 +33,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 from ..logic import Bracket
 from ..logic.fo import Formula
 from ..semirings import Semiring
-from ..serve import PlanCache, QueryService, ResultCache
+from ..serve import PlanCache, PlanStore, QueryService, ResultCache
 from ..structures import Structure
 from .options import ExecOptions
 from .prepared import PreparedQuery, query_footprint
@@ -54,6 +54,15 @@ class Database:
     databases (e.g. process-wide plan reuse); by default the database
     creates its own, sized by the options.
 
+    ``plan_store`` / ``plan_store_path`` attach the persistent on-disk
+    plan tier (:class:`repro.serve.PlanStore`): every compilation this
+    database triggers checks the store before compiling and persists
+    its plan, so a fresh process on the same path serves its first
+    query without recompiling.  Precedence: an explicit ``plan_store``
+    instance, then ``plan_store_path``, then ``options.plan_store``,
+    then the ``REPRO_PLAN_STORE`` environment variable (a directory
+    path — how CI and worker processes opt in without code changes).
+
     Use as a context manager: ``close()`` releases every engine pool,
     service and worker thread the facade created.
     """
@@ -62,10 +71,28 @@ class Database:
                  options: Optional[ExecOptions] = None,
                  plan_cache: Optional[PlanCache] = None,
                  result_cache: Optional[ResultCache] = None,
+                 plan_store: Optional[Any] = None,
+                 plan_store_path: Optional[Any] = None,
                  **overrides):
         self.structure = structure
         self.options = (ExecOptions() if options is None
                         else options).merged(**overrides)
+        if plan_store is not None and plan_store_path is not None:
+            raise ValueError("pass plan_store or plan_store_path, not both")
+        if plan_store is None:
+            if plan_store_path is not None:
+                plan_store = PlanStore(plan_store_path)
+            elif self.options.plan_store is not None:
+                plan_store = self.options.plan_store
+            else:
+                env_path = os.environ.get("REPRO_PLAN_STORE")
+                if env_path:
+                    plan_store = PlanStore(env_path)
+        self.plan_store = plan_store
+        if self.options.plan_store is not plan_store:
+            # Fold the resolved store into the options so per-handle
+            # derivations (prepare/serve) inherit it uniformly.
+            self.options = self.options.merged(plan_store=plan_store)
         self.plan_cache = (plan_cache if plan_cache is not None
                            else PlanCache(self.options.plan_cache_size))
         if result_cache is not None:
@@ -141,6 +168,7 @@ class Database:
             backend=opts.backend,
             exact_mode=opts.exact_mode,
             plan_cache=self.plan_cache,
+            plan_store=opts.plan_store,
             result_cache=scoped,
             result_cache_size=(0 if scoped is not None
                                else opts.result_cache_size),
@@ -302,6 +330,8 @@ class Database:
                 "pool_started": self._pool is not None,
                 "plan_cache": self.plan_cache.stats(),
             }
+        if self.plan_store is not None:
+            info["plan_store"] = self.plan_store.stats()
         if self.result_cache is not None:
             info["result_cache"] = self.result_cache.stats()
         return info

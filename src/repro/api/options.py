@@ -13,7 +13,7 @@ with :meth:`ExecOptions.merged`.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Optional
+from typing import Any, Optional
 
 from ..circuits import validate_backend, validate_exact_mode
 
@@ -47,6 +47,13 @@ class ExecOptions:
     ``plan_cache_size`` / ``result_cache_size``
         Capacities of the database-owned shared caches (a
         ``result_cache_size`` of 0 disables result caching).
+    ``plan_store``
+        An optional :class:`repro.serve.PlanStore` — the persistent
+        on-disk tier under the in-memory plan cache.  Compilations
+        check it before compiling and write their plans back, so fresh
+        processes load instead of recompiling.  ``None`` (default)
+        disables persistence; see ``Database(plan_store_path=...)`` for
+        the path-based convenience spelling.
     """
 
     backend: str = "auto"
@@ -59,6 +66,7 @@ class ExecOptions:
     max_batch_delay: float = 0.002
     plan_cache_size: int = 32
     result_cache_size: int = 1024
+    plan_store: Optional[Any] = None
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
@@ -75,6 +83,12 @@ class ExecOptions:
             raise ValueError("plan_cache_size must be >= 1")
         if self.result_cache_size < 0:
             raise ValueError("result_cache_size must be >= 0")
+        if self.plan_store is not None and not (
+                callable(getattr(self.plan_store, "load", None))
+                and callable(getattr(self.plan_store, "save", None))):
+            raise ValueError(
+                "plan_store must provide load(key, structure, expr) and "
+                "save(key, plan) (e.g. repro.serve.PlanStore)")
 
     def merged(self, **overrides) -> "ExecOptions":
         """A copy with ``overrides`` applied (and re-validated).

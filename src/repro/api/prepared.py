@@ -156,7 +156,8 @@ class PreparedQuery:
                 self.db.structure, self.expr,
                 dynamic_relations=self.dynamic_relations,
                 optimize=self.options.optimize,
-                plan_cache=self.db.plan_cache)
+                plan_cache=self.db.plan_cache,
+                plan_store=self.options.plan_store)
         return self._plan
 
     def _engine(self, sr: Semiring) -> WeightedQueryEngine:
@@ -181,7 +182,8 @@ class PreparedQuery:
                         free_order=self.params or None,
                         strategy=self.options.strategy,
                         optimize=self.options.optimize,
-                        plan_cache=self.db.plan_cache)
+                        plan_cache=self.db.plan_cache,
+                        plan_store=self.options.plan_store)
                     self._engines[sr.name] = engine
                 return engine
 

@@ -11,6 +11,11 @@ from .optimize import (DEFAULT_PIPELINE, PASSES, CommonSubexpressionPass,
                        RewritePass, optimize_circuit)
 from .render import describe_optimization, render_dot, render_text, summarize
 from .schedule import GateGroup, Layer, LayerSchedule, build_schedule
+from .serialize import (PLAN_FORMAT_VERSION, PlanNotSerializable,
+                        PlanStaleError, PlanStateError, circuit_from_state,
+                        circuit_to_state, decode_atom, dump_plan_bytes,
+                        encode_atom, load_plan_bytes, schedule_from_state,
+                        schedule_to_state)
 from .vectorized import (HAVE_NUMPY, ArrayKernel, VectorizedEvaluator,
                          kernel_for, register_kernel)
 
@@ -20,6 +25,10 @@ __all__ = [
     "StaticEvaluator", "BatchedEvaluator", "DynamicEvaluator",
     "valuation_from_dict", "Valuation",
     "LayerSchedule", "Layer", "GateGroup", "build_schedule",
+    "PLAN_FORMAT_VERSION", "PlanStateError", "PlanStaleError",
+    "PlanNotSerializable", "circuit_to_state", "circuit_from_state",
+    "schedule_to_state", "schedule_from_state", "encode_atom", "decode_atom",
+    "dump_plan_bytes", "load_plan_bytes",
     "VectorizedEvaluator", "ArrayKernel", "kernel_for", "register_kernel",
     "HAVE_NUMPY", "validate_backend", "VALID_BACKENDS",
     "validate_exact_mode", "VALID_EXACT_MODES",

@@ -1,0 +1,314 @@
+"""Versioned, pickle-free serialization of circuits and layer schedules.
+
+Compiled plans persist to disk (``repro.serve.PlanStore``) so a fresh
+process — a serving worker, a CI leg, an example run — can load a plan
+instead of re-running the Theorem 6 compiler.  Loading data must never
+execute it, so the on-disk format is **data-only**: a small binary
+container (magic + JSON header + zlib-compressed canonical JSON payload)
+with no pickle anywhere.  Every Python value that appears in a plan —
+input-gate keys, constants, forest nodes and labels, recorded weights —
+is encoded through the tagged-atom codec below; a value outside the
+closed vocabulary (e.g. a user-defined carrier object) raises
+:class:`PlanNotSerializable` and the store simply skips that plan.
+
+Two version stamps guard staleness:
+
+* ``PLAN_FORMAT_VERSION`` — bumped whenever the state layout changes;
+* the library version — a plan compiled by one release is not trusted
+  by another (compiler output may differ gate-for-gate).
+
+A mismatch of either raises :class:`PlanStaleError`; corrupt bytes
+(bad magic, truncation, checksum mismatch, malformed state) raise
+:class:`PlanStateError`.  Both are misses to the store, never crashes.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import struct
+import zlib
+from fractions import Fraction
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from .._version import __version__ as LIBRARY_VERSION
+from .gates import (AddGate, Circuit, ConstGate, GateId, InputGate, MulGate,
+                    PermGate)
+from .schedule import (KIND_ADD, KIND_CONST, KIND_INPUT, KIND_MUL, KIND_PERM,
+                       GateGroup, Layer, LayerSchedule)
+
+#: Bump on any change to the state layout; stale entries reload as misses.
+PLAN_FORMAT_VERSION = 1
+
+#: Container magic: identifies a serialized plan file.
+PLAN_MAGIC = b"RPLN\x01"
+
+
+class PlanStateError(ValueError):
+    """The serialized plan state is corrupt or malformed."""
+
+
+class PlanStaleError(PlanStateError):
+    """The plan was written by a different format or library version."""
+
+
+class PlanNotSerializable(PlanStateError):
+    """The plan contains values outside the data-only vocabulary."""
+
+
+# -- tagged atoms ----------------------------------------------------------------
+# Scalars (None/bool/int/float/str) pass through as JSON values; every
+# composite is a tagged JSON array, so decode is unambiguous and closed
+# (an unknown tag is an error, never an eval or a pickle).
+
+_TUPLE, _FROZENSET, _SET, _LIST, _FRACTION, _BYTES = \
+    "t", "f", "s", "l", "q", "b"
+
+
+def encode_atom(value: Any) -> Any:
+    """Encode one plan value into the tagged-JSON vocabulary."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # Python's json emits Infinity/NaN literals (allow_nan default)
+        # and parses them back — the tropical zeros survive.
+        return value
+    if isinstance(value, tuple):
+        return [_TUPLE] + [encode_atom(item) for item in value]
+    if isinstance(value, list):
+        return [_LIST] + [encode_atom(item) for item in value]
+    if isinstance(value, (frozenset, set)):
+        tag = _FROZENSET if isinstance(value, frozenset) else _SET
+        return [tag] + sorted((encode_atom(item) for item in value),
+                              key=repr)
+    if isinstance(value, Fraction):
+        return [_FRACTION, value.numerator, value.denominator]
+    if isinstance(value, bytes):
+        return [_BYTES, base64.b64encode(value).decode("ascii")]
+    raise PlanNotSerializable(
+        f"cannot serialize {type(value).__name__} value {value!r}; "
+        f"persisted plans are restricted to the data-only vocabulary "
+        f"(scalars, tuples, sets, fractions)")
+
+
+def decode_atom(value: Any) -> Any:
+    """Decode one tagged-JSON value; unknown shapes are errors."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if not isinstance(value, list) or not value:
+        raise PlanStateError(f"malformed atom {value!r}")
+    tag, rest = value[0], value[1:]
+    if tag == _TUPLE:
+        return tuple(decode_atom(item) for item in rest)
+    if tag == _LIST:
+        return [decode_atom(item) for item in rest]
+    if tag == _FROZENSET:
+        return frozenset(decode_atom(item) for item in rest)
+    if tag == _SET:
+        return {decode_atom(item) for item in rest}
+    if tag == _FRACTION:
+        if len(rest) != 2:
+            raise PlanStateError(f"malformed fraction {value!r}")
+        return Fraction(rest[0], rest[1])
+    if tag == _BYTES:
+        return base64.b64decode(rest[0])
+    raise PlanStateError(f"unknown atom tag {tag!r}")
+
+
+# -- circuits --------------------------------------------------------------------
+# All stored gates serialize (dead gates included) so gate ids — which
+# the output, the schedule and hash-consing sharing all refer to — are
+# preserved verbatim.
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise PlanStateError(message)
+
+
+def circuit_to_state(circuit: Circuit) -> Dict[str, Any]:
+    gates: List[Any] = []
+    for gate in circuit.gates:
+        if isinstance(gate, InputGate):
+            gates.append(["i", encode_atom(gate.key)])
+        elif isinstance(gate, ConstGate):
+            gates.append(["c", encode_atom(gate.value)])
+        elif isinstance(gate, AddGate):
+            gates.append(["+", list(gate.children)])
+        elif isinstance(gate, MulGate):
+            gates.append(["*", list(gate.children)])
+        elif isinstance(gate, PermGate):
+            gates.append(["p", [list(row) for row in gate.entries]])
+        else:
+            raise PlanNotSerializable(f"unknown gate {gate!r}")
+    return {"gates": gates, "output": circuit.output}
+
+
+def _check_child(child: Any, index: int) -> GateId:
+    _require(isinstance(child, int) and not isinstance(child, bool)
+             and 0 <= child < index,
+             f"gate {index} references invalid child {child!r}")
+    return child
+
+
+def circuit_from_state(state: Any) -> Circuit:
+    _require(isinstance(state, dict) and isinstance(state.get("gates"), list),
+             "malformed circuit state")
+    gates: List[Any] = []
+    inputs: Dict[Hashable, GateId] = {}
+    for index, item in enumerate(state["gates"]):
+        _require(isinstance(item, list) and len(item) == 2,
+                 f"malformed gate entry {item!r}")
+        tag, body = item
+        if tag == "i":
+            gate: Any = InputGate(decode_atom(body))
+            inputs[gate.key] = index
+        elif tag == "c":
+            gate = ConstGate(decode_atom(body))
+        elif tag in ("+", "*"):
+            _require(isinstance(body, list) and len(body) >= 2,
+                     f"gate {index}: add/mul needs >= 2 children")
+            children = tuple(_check_child(c, index) for c in body)
+            gate = (AddGate if tag == "+" else MulGate)(children)
+        elif tag == "p":
+            _require(isinstance(body, list) and body
+                     and all(isinstance(row, list) for row in body),
+                     f"gate {index}: malformed permanent entries")
+            width = len(body[0])
+            _require(all(len(row) == width for row in body),
+                     f"gate {index}: permanent matrix is not rectangular")
+            entries = tuple(
+                tuple(None if e is None else _check_child(e, index)
+                      for e in row)
+                for row in body)
+            gate = PermGate(entries)
+        else:
+            raise PlanStateError(f"unknown gate tag {tag!r}")
+        gates.append(gate)
+    output = state.get("output")
+    _require(isinstance(output, int) and not isinstance(output, bool)
+             and 0 <= output < len(gates),
+             f"invalid output gate {output!r}")
+    # Child-id < parent-id above re-establishes the builder's topological
+    # invariant, which every evaluator (and the schedule) relies on.
+    return Circuit(gates, output, inputs)
+
+
+# -- layer schedules -------------------------------------------------------------
+# Only the layer/group shape persists; children tuples, the layer_of
+# index and the input/const tables are rebuilt from the circuit, so the
+# loaded schedule cannot disagree with its own gates.
+
+_GATE_KINDS = {InputGate: KIND_INPUT, ConstGate: KIND_CONST,
+               AddGate: KIND_ADD, MulGate: KIND_MUL, PermGate: KIND_PERM}
+
+
+def schedule_to_state(schedule: LayerSchedule) -> List[Any]:
+    return [[[group.kind, group.fan_in, list(group.gate_ids)]
+             for group in layer.groups]
+            for layer in schedule.layers]
+
+
+def schedule_from_state(circuit: Circuit, state: Any) -> LayerSchedule:
+    _require(isinstance(state, list), "malformed schedule state")
+    layer_of: Dict[GateId, int] = {}
+    layers: List[Layer] = []
+    for index, groups_state in enumerate(state):
+        _require(isinstance(groups_state, list),
+                 f"malformed schedule layer {index}")
+        groups: List[GateGroup] = []
+        for group_state in groups_state:
+            _require(isinstance(group_state, list) and len(group_state) == 3,
+                     f"malformed gate group {group_state!r}")
+            kind, fan_in, gate_ids = group_state
+            children: Optional[List[Tuple[GateId, ...]]] = \
+                [] if kind in (KIND_ADD, KIND_MUL) else None
+            _require(isinstance(gate_ids, list) and gate_ids,
+                     f"empty gate group in layer {index}")
+            for gate_id in gate_ids:
+                _require(isinstance(gate_id, int)
+                         and 0 <= gate_id < len(circuit.gates)
+                         and gate_id not in layer_of,
+                         f"schedule gate {gate_id!r} invalid or duplicated")
+                gate = circuit.gates[gate_id]
+                _require(_GATE_KINDS.get(type(gate)) == kind,
+                         f"gate {gate_id} is not a {kind} gate")
+                kids = circuit.children_of(gate)
+                _require(all(layer_of.get(c, index) < index for c in kids),
+                         f"gate {gate_id} (layer {index}) depends on a "
+                         f"gate not in an earlier layer")
+                if children is not None:
+                    _require(len(kids) == fan_in,
+                             f"gate {gate_id} fan-in {len(kids)} != group "
+                             f"fan-in {fan_in}")
+                    children.append(tuple(kids))
+                layer_of[gate_id] = index
+            groups.append(GateGroup(
+                kind=kind, fan_in=fan_in, gate_ids=tuple(gate_ids),
+                children=tuple(children) if children is not None else None))
+        layers.append(Layer(index=index, groups=tuple(groups)))
+    _require(set(layer_of) == set(circuit.live_gates()),
+             "schedule does not cover exactly the live gates")
+    input_gates = []
+    const_gates = []
+    for gate_id in sorted(layer_of):
+        gate = circuit.gates[gate_id]
+        if isinstance(gate, InputGate):
+            input_gates.append((gate_id, gate.key))
+        elif isinstance(gate, ConstGate):
+            const_gates.append((gate_id, gate.value))
+    return LayerSchedule(circuit, tuple(layers), layer_of,
+                         tuple(input_gates), tuple(const_gates))
+
+
+# -- the binary container --------------------------------------------------------
+
+def dump_plan_bytes(state: Any, format_version: Optional[int] = None,
+                    library_version: Optional[str] = None) -> bytes:
+    """Serialize ``state`` into the container format.
+
+    The version overrides exist for tests exercising the staleness
+    paths; production callers always stamp the current versions.
+    """
+    payload = zlib.compress(
+        json.dumps(state, separators=(",", ":")).encode("utf-8"), 6)
+    header = json.dumps({
+        "format": (PLAN_FORMAT_VERSION if format_version is None
+                   else format_version),
+        "library": (LIBRARY_VERSION if library_version is None
+                    else library_version),
+        "length": len(payload),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+    }, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return PLAN_MAGIC + struct.pack(">I", len(header)) + header + payload
+
+
+def load_plan_bytes(data: bytes) -> Any:
+    """Parse a container back into its state, verifying magic, versions
+    and the payload checksum.  Raises :class:`PlanStaleError` on version
+    mismatch, :class:`PlanStateError` on any corruption."""
+    prefix = len(PLAN_MAGIC) + 4
+    _require(isinstance(data, (bytes, bytearray)) and len(data) > prefix
+             and bytes(data[:len(PLAN_MAGIC)]) == PLAN_MAGIC,
+             "not a serialized plan (bad magic)")
+    (header_length,) = struct.unpack(">I", data[len(PLAN_MAGIC):prefix])
+    _require(len(data) >= prefix + header_length, "truncated plan header")
+    try:
+        header = json.loads(data[prefix:prefix + header_length])
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise PlanStateError(f"corrupt plan header: {error}") from None
+    _require(isinstance(header, dict), "malformed plan header")
+    if header.get("format") != PLAN_FORMAT_VERSION or \
+            header.get("library") != LIBRARY_VERSION:
+        raise PlanStaleError(
+            f"plan written by format {header.get('format')!r} / library "
+            f"{header.get('library')!r}; this is format "
+            f"{PLAN_FORMAT_VERSION} / library {LIBRARY_VERSION}")
+    payload = bytes(data[prefix + header_length:])
+    _require(len(payload) == header.get("length"), "truncated plan payload")
+    _require(hashlib.sha256(payload).hexdigest() == header.get("sha256"),
+             "plan payload checksum mismatch")
+    try:
+        return json.loads(zlib.decompress(payload))
+    except (zlib.error, json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise PlanStateError(f"corrupt plan payload: {error}") from None

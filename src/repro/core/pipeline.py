@@ -25,11 +25,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .._compat import warn_deprecated
-from ..circuits import (HAVE_NUMPY, ArrayKernel, BatchedEvaluator, Circuit,
-                        CircuitBuilder, DynamicEvaluator, LayerSchedule,
+from ..circuits import (HAVE_NUMPY, PLAN_FORMAT_VERSION, ArrayKernel,
+                        BatchedEvaluator, Circuit, CircuitBuilder,
+                        DynamicEvaluator, LayerSchedule, PlanStateError,
                         StaticEvaluator, VectorizedEvaluator, build_schedule,
-                        kernel_for, optimize_circuit, validate_backend,
-                        validate_exact_mode)
+                        circuit_from_state, circuit_to_state, decode_atom,
+                        encode_atom, kernel_for, optimize_circuit,
+                        schedule_from_state, schedule_to_state,
+                        validate_backend, validate_exact_mode)
 from ..graphs import low_treedepth_coloring
 from ..logic import Block, normalize
 from ..logic.weighted import WExpr
@@ -37,6 +40,46 @@ from ..semirings import Semiring
 from ..structures import LabeledForest, Structure
 from .forest_compiler import ForestCompiler
 from .stages import color_blocks, forest_from_structure
+
+
+def _forest_to_state(forest: LabeledForest) -> Dict[str, Any]:
+    """Serialize one labeled forest: nodes by index, parents as indices,
+    labels/weights over node indices (sorted for determinism)."""
+    nodes = list(forest.parent)
+    index_of = {node: index for index, node in enumerate(nodes)}
+    return {
+        "nodes": [encode_atom(node) for node in nodes],
+        "parent": [-1 if parent is None else index_of[parent]
+                   for parent in forest.parent.values()],
+        "labels": sorted(
+            ([encode_atom(key), sorted(index_of[n] for n in members)]
+             for key, members in forest.labels.items()),
+            key=repr),
+        "weights": sorted(
+            ([encode_atom(name), sorted([index_of[n], encode_atom(value)]
+                                        for n, value in mapping.items())]
+             for name, mapping in forest.weights.items()),
+            key=repr),
+    }
+
+
+def _forest_from_state(state: Any) -> LabeledForest:
+    if not isinstance(state, dict) or \
+            not isinstance(state.get("nodes"), list) or \
+            not isinstance(state.get("parent"), list) or \
+            len(state["nodes"]) != len(state["parent"]):
+        raise PlanStateError("malformed forest state")
+    nodes = [decode_atom(item) for item in state["nodes"]]
+    parent = {node: (None if index < 0 else nodes[index])
+              for node, index in zip(nodes, state["parent"])}
+    labels = {decode_atom(key): {nodes[index] for index in members}
+              for key, members in state.get("labels", ())}
+    weights = {decode_atom(name): {nodes[index]: decode_atom(value)
+                                   for index, value in entries}
+               for name, entries in state.get("weights", ())}
+    # The LabeledForest constructor re-derives depths/paths and rejects
+    # parent cycles, so a tampered forest cannot produce silent garbage.
+    return LabeledForest(parent, labels=labels, weights=weights)
 
 
 def _non_clique_pair(gaifman, tup: Tuple) -> Optional[Tuple]:
@@ -275,6 +318,72 @@ class CompiledQuery:
             structure.gaifman(), dict(self.recorded), self.dynamic_relations,
             _schedule=self._schedule)
 
+    # -- serialization -----------------------------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """A versioned, data-only snapshot of the plan: circuit gates,
+        layer schedule, coloring, forests, recorded inputs and dynamic
+        relations — everything :meth:`from_state` needs except the host
+        structure and the source expression (which the caller keys the
+        plan by).  Raises :class:`~repro.circuits.PlanNotSerializable`
+        when a recorded value falls outside the serializable vocabulary
+        (e.g. a user-defined carrier object); see
+        :mod:`repro.circuits.serialize` for the format.
+        """
+        return {
+            "format": PLAN_FORMAT_VERSION,
+            "circuit": circuit_to_state(self.circuit),
+            "schedule": (schedule_to_state(self._schedule)
+                         if self._schedule is not None else None),
+            "coloring": [[encode_atom(element), color]
+                         for element, color in self.coloring.items()],
+            "forests": [[sorted(colors), _forest_to_state(forest)]
+                        for colors, forest in self.forests],
+            "recorded": [[encode_atom(key), kind, encode_atom(raw)]
+                         for key, (kind, raw) in self.recorded.items()],
+            "dynamic_relations": sorted(self.dynamic_relations),
+        }
+
+    @classmethod
+    def from_state(cls, state: Any, structure: Structure,
+                   expr: Optional[WExpr] = None) -> "CompiledQuery":
+        """Rebuild a plan from :meth:`to_state` output over ``structure``
+        (which must be content-equal to the compile-time structure — the
+        persistent store enforces that through its fingerprint key).
+
+        ``expr`` re-derives the normalized blocks (query-sized, cheap);
+        the Gaifman graph comes from ``structure``.  Raises
+        :class:`~repro.circuits.PlanStateError` on malformed state.
+        """
+        if not isinstance(state, dict):
+            raise PlanStateError("malformed plan state")
+        if state.get("format") != PLAN_FORMAT_VERSION:
+            raise PlanStateError(
+                f"plan state format {state.get('format')!r} != "
+                f"{PLAN_FORMAT_VERSION}")
+        try:
+            circuit = circuit_from_state(state["circuit"])
+            schedule = (schedule_from_state(circuit, state["schedule"])
+                        if state.get("schedule") is not None else None)
+            coloring = {decode_atom(element): color
+                        for element, color in state["coloring"]}
+            forests = [(frozenset(colors), _forest_from_state(forest_state))
+                       for colors, forest_state in state["forests"]]
+            recorded: Dict[Hashable, Tuple[str, object]] = {}
+            for key, kind, raw in state["recorded"]:
+                if kind not in ("b", "w"):
+                    raise PlanStateError(f"unknown recorded kind {kind!r}")
+                recorded[decode_atom(key)] = (kind, decode_atom(raw))
+            dynamic = frozenset(state["dynamic_relations"])
+        except PlanStateError:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            raise PlanStateError(f"malformed plan state: {error}") from None
+        blocks = normalize(expr) if expr is not None else []
+        return cls(circuit, structure, blocks, coloring, forests,
+                   structure.gaifman(), recorded, dynamic,
+                   _schedule=schedule)
+
     def stats(self) -> Dict[str, Any]:
         info = self.circuit.stats()
         info["color_subsets"] = len(self.forests)
@@ -401,7 +510,8 @@ def compile_structure_query(structure: Structure, expr: WExpr,
                             dynamic_relations: Sequence[str] = (),
                             coloring: Optional[Dict[Hashable, int]] = None,
                             optimize: bool = True,
-                            plan_cache: Optional[Any] = None
+                            plan_cache: Optional[Any] = None,
+                            plan_store: Optional[Any] = None
                             ) -> CompiledQuery:
     """Deprecated seam: compile ``expr`` over ``structure`` (Theorem 6).
 
@@ -415,14 +525,16 @@ def compile_structure_query(structure: Structure, expr: WExpr,
     return _compile_structure_query(structure, expr,
                                     dynamic_relations=dynamic_relations,
                                     coloring=coloring, optimize=optimize,
-                                    plan_cache=plan_cache)
+                                    plan_cache=plan_cache,
+                                    plan_store=plan_store)
 
 
 def _compile_structure_query(structure: Structure, expr: WExpr,
                              dynamic_relations: Sequence[str] = (),
                              coloring: Optional[Dict[Hashable, int]] = None,
                              optimize: bool = True,
-                             plan_cache: Optional[Any] = None
+                             plan_cache: Optional[Any] = None,
+                             plan_store: Optional[Any] = None
                              ) -> CompiledQuery:
     """Theorem 6 end-to-end (quantifier-free brackets; see repro.qe for
     eliminating quantifiers first).
@@ -442,19 +554,40 @@ def _compile_structure_query(structure: Structure, expr: WExpr,
     state — and the normalize/color/forest/compile stages are skipped
     entirely.  An explicit ``coloring`` bypasses the cache (the coloring
     is an input the key does not capture).
+
+    ``plan_store`` (a :class:`repro.serve.PlanStore`) is the persistent
+    tier *under* the in-memory cache, on the same key: memory miss →
+    disk load (also seeding the memory cache) → compile, with the
+    compiled plan written back to disk.  A corrupt or stale entry is a
+    miss (recompile), never an error.
     """
-    if plan_cache is not None and coloring is None:
+    if (plan_cache is not None or plan_store is not None) \
+            and coloring is None:
         key = plan_cache_key(structure, expr, dynamic_relations, optimize)
-        template = plan_cache.lookup(key)
-        if template is not None:
-            return template.rebind(structure)
+        if plan_cache is not None:
+            template = plan_cache.lookup(key)
+            if template is not None:
+                return template.rebind(structure)
+        if plan_store is not None:
+            loaded = plan_store.load(key, structure, expr)
+            if loaded is not None:
+                if plan_cache is not None:
+                    # Seed the memory tier: later lookups in this
+                    # process must not touch disk again.
+                    plan_cache.store(key, loaded.rebind(structure))
+                return loaded
         compiled = _compile_structure_query(
             structure, expr, dynamic_relations=dynamic_relations,
             optimize=optimize)
         # Store a pristine snapshot: the caller may mutate its plan's
         # recorded weights/forest labels, which must not drift the cached
         # template away from the content the key fingerprints.
-        plan_cache.store(key, compiled.rebind(structure))
+        if plan_cache is not None:
+            plan_cache.store(key, compiled.rebind(structure))
+        if plan_store is not None:
+            # Serialized immediately (before the caller can mutate the
+            # plan); unserializable carriers skip quietly.
+            plan_store.save(key, compiled)
         return compiled
 
     blocks = normalize(expr)

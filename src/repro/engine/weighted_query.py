@@ -62,14 +62,16 @@ class WeightedQueryEngine:
                  free_order: Optional[Sequence[str]] = None,
                  strategy: Optional[str] = None,
                  optimize: bool = True,
-                 plan_cache: Optional[Any] = None):
+                 plan_cache: Optional[Any] = None,
+                 plan_store: Optional[Any] = None):
         # Direct construction is the deprecated seam; the facade and the
         # serving layer build engines through :meth:`_create`.
         warn_deprecated("WeightedQueryEngine(...)",
                         "Database.prepare(expr, params=...).bind(...)")
         self._init(structure, expr, sr, dynamic_relations=dynamic_relations,
                    free_order=free_order, strategy=strategy,
-                   optimize=optimize, plan_cache=plan_cache)
+                   optimize=optimize, plan_cache=plan_cache,
+                   plan_store=plan_store)
 
     @classmethod
     def _create(cls, structure: Structure, expr: WExpr, sr: Semiring,
@@ -84,7 +86,8 @@ class WeightedQueryEngine:
               free_order: Optional[Sequence[str]] = None,
               strategy: Optional[str] = None,
               optimize: bool = True,
-              plan_cache: Optional[Any] = None):
+              plan_cache: Optional[Any] = None,
+              plan_store: Optional[Any] = None):
         self.sr = sr
         self.free: Tuple[str, ...] = tuple(
             free_order if free_order is not None else sorted(expr.free_vars()))
@@ -93,13 +96,14 @@ class WeightedQueryEngine:
                              f"expression's free variables")
         self.structure = structure
         self._closed = False
-        if plan_cache is not None:
+        if plan_cache is not None or plan_store is not None:
             # Cacheable construction needs *deterministic* selector names:
-            # the plan cache keys on the structure's content fingerprint
+            # both plan tiers key on the structure's content fingerprint
             # *after* the selectors are installed, so two engines over
             # content-equal structures must install identically-named
-            # selectors to share one compiled plan.  Derive the names from
-            # the pre-install content plus the query identity.
+            # selectors to share one compiled plan (within this process
+            # via the cache, across processes via the store).  Derive the
+            # names from the pre-install content plus the query identity.
             digest = hashlib.sha256("\x00".join(
                 (structure.fingerprint(), repr(expr), sr.name,
                  ",".join(self.free), ",".join(sorted(dynamic_relations)),
@@ -109,11 +113,12 @@ class WeightedQueryEngine:
             if any(name in structure.weights for name in self.selectors):
                 # Another live engine with the same identity already owns
                 # these names on this very structure.  Fall back to unique
-                # names and bypass the cache for this construction (the
-                # fingerprint now includes the other engine's selectors,
-                # so a lookup could never hit anyway).
+                # names and bypass both plan tiers for this construction
+                # (the fingerprint now includes the other engine's
+                # selectors, so a lookup could never hit anyway).
                 plan_cache = None
-        if plan_cache is None:
+                plan_store = None
+        if plan_cache is None and plan_store is None:
             tag = next(_ENGINE_COUNTER)
             self.selectors = [f"{SELECTOR_PREFIX}{tag}_{i}"
                               for i in range(len(self.free))]
@@ -130,7 +135,8 @@ class WeightedQueryEngine:
         try:
             self.compiled: CompiledQuery = _compile_structure_query(
                 structure, closed, dynamic_relations=dynamic_relations,
-                optimize=optimize, plan_cache=plan_cache)
+                optimize=optimize, plan_cache=plan_cache,
+                plan_store=plan_store)
             self.dynamic: DynamicQuery = self.compiled._dynamic(
                 sr, strategy=strategy)
         except BaseException:

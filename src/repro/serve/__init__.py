@@ -10,8 +10,9 @@ touched-gate reporting.
 """
 
 from .plan_cache import PlanCache
+from .plan_store import PlanStore
 from .result_cache import MISS, ResultCache, ScopedResultCache
 from .service import QueryService
 
-__all__ = ["QueryService", "PlanCache", "ResultCache", "ScopedResultCache",
-           "MISS"]
+__all__ = ["QueryService", "PlanCache", "PlanStore", "ResultCache",
+           "ScopedResultCache", "MISS"]

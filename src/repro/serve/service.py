@@ -87,6 +87,7 @@ class QueryService:
               backend: str = "auto",
               exact_mode: str = "auto",
               plan_cache: Optional[PlanCache] = None,
+              plan_store: Optional[Any] = None,
               result_cache_size: int = 1024,
               result_cache: Optional[Any] = None,
               workers: Optional[int] = None,
@@ -103,6 +104,10 @@ class QueryService:
         self.max_batch_size = int(max_batch_size)
         self.max_batch_delay = float(max_batch_delay)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        # The optional persistent tier under the in-memory cache: pool
+        # engine 1 loads from disk on a cold process; engines 2..N then
+        # hit the (seeded) memory cache.
+        self.plan_store = plan_store
         # An explicit ``result_cache`` instance (e.g. a scoped view of a
         # Database-owned shared cache) wins over the size knob.
         if result_cache is not None:
@@ -123,7 +128,8 @@ class QueryService:
                 self.engines.append(WeightedQueryEngine._create(
                     member, expr, sr, dynamic_relations=dynamic_relations,
                     free_order=free_order, strategy=strategy,
-                    optimize=optimize, plan_cache=self.plan_cache))
+                    optimize=optimize, plan_cache=self.plan_cache,
+                    plan_store=plan_store))
         except BaseException:
             for engine in self.engines:
                 engine.close()
@@ -374,6 +380,8 @@ class QueryService:
         if kernel is not None:
             info["exact_kernel"] = kernel
         info["plan_cache"] = self.plan_cache.stats()
+        if self.plan_store is not None:
+            info["plan_store"] = self.plan_store.stats()
         if self.result_cache is not None:
             info["result_cache"] = self.result_cache.stats()
         return info

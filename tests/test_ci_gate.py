@@ -18,17 +18,24 @@ def report(**seconds):
                         for name, value in seconds.items()]}
 
 
+def calibrated(calibration, **seconds):
+    data = report(**seconds)
+    data["calibration_seconds"] = calibration
+    return data
+
+
 class TestCompareToBaseline:
     def test_within_bounds_passes(self):
         failures, notes = ci_smoke.compare_to_baseline(
-            report(a=1.1, b=2.0), report(a=1.0, b=2.0),
+            calibrated(0.1, a=1.1, b=2.0), calibrated(0.1, a=1.0, b=2.0),
             max_regression=0.25, grace=0.25)
         assert failures == [] and notes == []
 
     def test_25_percent_regression_fails(self):
-        # 10s -> 13s is +30%: past the 25% bound even with grace.
+        # 10s -> 13s is +30%: past the 25% bound even with grace, on a
+        # same-speed runner (equal calibration samples).
         failures, _ = ci_smoke.compare_to_baseline(
-            report(a=13.0), report(a=10.0),
+            calibrated(0.1, a=13.0), calibrated(0.1, a=10.0),
             max_regression=0.25, grace=0.25)
         assert len(failures) == 1 and "a" in failures[0]
 
@@ -46,6 +53,127 @@ class TestCompareToBaseline:
         assert failures == []
         assert any("new_bench" in note for note in notes)
         assert any("old_bench" in note for note in notes)
+
+
+class TestCalibrationScaling:
+    def test_slow_runner_relaxes_the_gate(self):
+        # 2x slower machine (calibration 0.2 vs 0.1): a uniform 2x
+        # slowdown of a 10s bench stays within the scaled threshold.
+        failures, notes = ci_smoke.compare_to_baseline(
+            calibrated(0.2, a=20.0), calibrated(0.1, a=10.0),
+            max_regression=0.25, grace=0.25)
+        assert failures == []
+        assert any("2.00x slower" in note for note in notes)
+
+    def test_same_speed_runner_still_fails_real_regressions(self):
+        failures, _ = ci_smoke.compare_to_baseline(
+            calibrated(0.1, a=20.0), calibrated(0.1, a=10.0),
+            max_regression=0.25, grace=0.25)
+        assert len(failures) == 1 and "calibration scale" in failures[0]
+
+    def test_fast_runner_never_tightens_below_the_floor(self):
+        # 4x faster machine: scale clamps at 1.0, so a bench matching
+        # its baseline (well within 25% + grace) still passes.
+        failures, _ = ci_smoke.compare_to_baseline(
+            calibrated(0.025, a=10.0), calibrated(0.1, a=10.0),
+            max_regression=0.25, grace=0.25)
+        assert failures == []
+
+    def test_scale_is_clamped_at_4x(self):
+        # 10x slower calibration must not excuse a 10x slowdown: the
+        # scale clamps at 4x, so 10s -> 100s still fails.
+        failures, _ = ci_smoke.compare_to_baseline(
+            calibrated(1.0, a=100.0), calibrated(0.1, a=10.0),
+            max_regression=0.25, grace=0.25)
+        assert len(failures) == 1
+
+    def test_scale_helper_bounds(self):
+        assert ci_smoke.calibration_scale(calibrated(0.2, a=1),
+                                          calibrated(0.1, a=1)) == 2.0
+        assert ci_smoke.calibration_scale(calibrated(0.01, a=1),
+                                          calibrated(0.1, a=1)) == 1.0
+        assert ci_smoke.calibration_scale(calibrated(9.9, a=1),
+                                          calibrated(0.1, a=1)) == 4.0
+        assert ci_smoke.calibration_scale(report(a=1),
+                                          calibrated(0.1, a=1)) is None
+
+    def test_calibrate_returns_positive_seconds(self):
+        sample = ci_smoke.calibrate(repeats=1)
+        assert 0 < sample < 30
+
+
+class TestShareFallback:
+    def test_uniform_slowdown_cancels_in_shares(self):
+        # No calibration on the baseline: a machine-wide 2x slowdown
+        # keeps every bench's share of the total identical — no flake.
+        failures, notes = ci_smoke.compare_to_baseline(
+            report(a=20.0, b=4.0), report(a=10.0, b=2.0),
+            max_regression=0.25, grace=0.25)
+        assert failures == []
+        assert any("relative-share" in note for note in notes)
+
+    def test_single_bench_regression_shifts_its_share(self):
+        # Only one bench slowed (10s -> 30s while its peer held): its
+        # share of the total grew past the allowance.
+        failures, _ = ci_smoke.compare_to_baseline(
+            report(a=30.0, b=10.0), report(a=10.0, b=10.0),
+            max_regression=0.25, grace=0.25)
+        assert len(failures) == 1 and "share" in failures[0]
+
+    def test_absolute_floor_still_shields_small_benches(self):
+        # Share doubled but the bench sits inside 25% + 0.25s grace.
+        failures, _ = ci_smoke.compare_to_baseline(
+            report(a=0.3, b=10.0), report(a=0.15, b=10.0),
+            max_regression=0.25, grace=0.25)
+        assert failures == []
+
+
+class TestSpeedupGate:
+    @staticmethod
+    def speedup_report(fast, **speedups):
+        return {"fast_mode": fast,
+                "benches": [{"bench": name, "seconds": 1.0,
+                             "python_seconds": 1.0 * value,
+                             "speedup_vs_python": value}
+                            for name, value in speedups.items()]}
+
+    def test_slower_than_python_fails(self):
+        failures = ci_smoke.check_speedups(self.speedup_report(
+            False, **{"bench_x.py": 0.8, "bench_y.py": 2.0}))
+        assert len(failures) == 1 and "bench_x.py" in failures[0]
+
+    def test_fast_mode_exempts_known_small_benches(self):
+        report = self.speedup_report(
+            True, **{"bench_batched_eval.py": 0.5, "bench_serve.py": 0.9})
+        assert ci_smoke.check_speedups(report) == []
+
+    def test_full_mode_checks_everything(self):
+        report = self.speedup_report(
+            False, **{"bench_batched_eval.py": 0.5, "bench_serve.py": 0.9})
+        assert len(ci_smoke.check_speedups(report)) == 2
+
+    def test_benches_without_a_recording_are_skipped(self):
+        assert ci_smoke.check_speedups(report(a=1.0, b=2.0)) == []
+
+
+class TestMergeBaseline:
+    def test_merge_preserves_the_other_leg(self):
+        existing = {"python": report(a=1.0)}
+        merged = ci_smoke.merge_baseline(existing, "numpy", report(a=0.5))
+        assert set(merged) == {"python", "numpy"}
+        assert merged["python"] == report(a=1.0)
+        assert existing == {"python": report(a=1.0)}  # input untouched
+
+    def test_merge_overwrites_the_same_leg(self):
+        merged = ci_smoke.merge_baseline({"numpy": report(a=1.0)},
+                                         "numpy", report(a=0.5))
+        assert merged["numpy"] == report(a=0.5)
+
+    def test_merge_lifts_legacy_single_report_form(self):
+        legacy = dict(report(a=1.0), backend="python")
+        merged = ci_smoke.merge_baseline(legacy, "numpy", report(a=0.5))
+        assert merged["python"]["benches"] == report(a=1.0)["benches"]
+        assert merged["numpy"] == report(a=0.5)
 
 
 class TestBaselineForBackend:
