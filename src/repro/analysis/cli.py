@@ -1,0 +1,109 @@
+"""``python -m repro.analysis`` — the static-analysis command line.
+
+Subcommands:
+
+``verify-store <dir> [...]``
+    Audit plan-store directories: every ``plan-*.rpln`` entry is
+    decoded and pushed through the full IR verifier
+    (:func:`repro.analysis.verify_plan_state`).  Exit status 1 when any
+    entry fails; each failure prints the entry path and the violated
+    invariant.
+
+``lint <path> [...]``
+    Run the project-invariant lint rules (REP001–REP005) over files or
+    directory trees.  Exit status 1 on any violation.
+
+``rules``
+    List the lint rules with their one-line descriptions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from .lint import RULES, lint_paths
+from .verify import PlanVerifyError, verify_plan_state
+
+_ENTRY_SUFFIX = ".rpln"
+
+
+def _store_entries(directory: str) -> List[str]:
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as error:
+        raise SystemExit(
+            f"verify-store: cannot read {directory}: {error}") from error
+    return [os.path.join(directory, name) for name in names
+            if name.endswith(_ENTRY_SUFFIX)]
+
+
+def verify_store(directories: Sequence[str],
+                 out=sys.stdout) -> Tuple[int, int]:
+    """Verify every entry of every store directory; returns
+    ``(checked, failed)`` and reports per-entry results to ``out``."""
+    from ..circuits.serialize import load_plan_bytes
+    checked = 0
+    failed = 0
+    for directory in directories:
+        entries = _store_entries(directory)
+        if not entries:
+            print(f"{directory}: no plan entries", file=out)
+            continue
+        for path in entries:
+            checked += 1
+            try:
+                with open(path, "rb") as handle:
+                    container = load_plan_bytes(handle.read())
+                if not isinstance(container, dict) \
+                        or "plan" not in container:
+                    raise PlanVerifyError(
+                        "container is missing the embedded plan")
+                plan = verify_plan_state(container["plan"])
+            except PlanVerifyError as error:
+                failed += 1
+                print(f"FAIL {path}: {error}", file=out)
+            except Exception as error:  # torn/garbage container
+                failed += 1
+                print(f"FAIL {path}: unreadable entry: {error}", file=out)
+            else:
+                stats = plan.circuit.stats()
+                print(f"ok   {path}: {stats['gates']} gates, "
+                      f"{stats['inputs']} inputs", file=out)
+    print(f"verify-store: {checked} entries, {failed} failed", file=out)
+    return checked, failed
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis for the compiled-plan pipeline.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser(
+        "verify-store", help="verify every entry of plan-store directories")
+    cmd.add_argument("directories", nargs="+", metavar="DIR",
+                     help="plan-store directories (e.g. .plan-store)")
+
+    cmd = commands.add_parser(
+        "lint", help="run the project-invariant lint rules")
+    cmd.add_argument("paths", nargs="+", metavar="PATH",
+                     help="files or directory trees to lint")
+
+    commands.add_parser("rules", help="list the lint rules")
+
+    options = parser.parse_args(argv)
+    if options.command == "verify-store":
+        _, failed = verify_store(options.directories)
+        return 1 if failed else 0
+    if options.command == "lint":
+        violations = lint_paths(options.paths)
+        for violation in violations:
+            print(violation)
+        print(f"lint: {len(violations)} violation(s)")
+        return 1 if violations else 0
+    for rule, description in sorted(RULES.items()):
+        print(f"{rule}  {description}")
+    return 0

@@ -173,7 +173,8 @@ class Database:
             result_cache_size=(0 if scoped is not None
                                else opts.result_cache_size),
             workers=opts.workers,
-            executor=self._executor_for(opts.workers))
+            executor=self._executor_for(opts.workers),
+            verify=opts.verify)
         # The update router consults the query's footprint to skip
         # writes that provably cannot change this service's answers
         # (instead of refusing them database-wide).
@@ -229,7 +230,7 @@ class Database:
                     thread_name_prefix="repro-db")
             return self._pool
 
-    def _executor_for(self, workers: Optional[int]):
+    def _executor_for(self, workers: Optional[int]) -> Optional[Any]:
         """The shared pool when sharding is requested, else ``None``."""
         return self.executor() if workers is not None and workers > 1 \
             else None
@@ -352,7 +353,7 @@ class UpdateContext:
     out-of-band mutations.  ``touched`` accumulates the gates recomputed
     across the transaction."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database) -> None:
         self.db = db
         self.touched = 0
 

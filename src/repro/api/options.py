@@ -54,6 +54,14 @@ class ExecOptions:
         processes load instead of recompiling.  ``None`` (default)
         disables persistence; see ``Database(plan_store_path=...)`` for
         the path-based convenience spelling.
+    ``verify``
+        Run the IR verifier (:func:`repro.analysis.verify_plan`) over
+        every plan the compile pipeline produces, post-compile.
+        ``True``/``False`` force it on/off; ``None`` (default) defers
+        to the ``REPRO_VERIFY_PLANS`` environment variable — how CI and
+        debugging sessions opt whole processes in without code changes.
+        Plans loaded from a :class:`~repro.serve.PlanStore` are always
+        verified regardless (disk bytes are untrusted).
     """
 
     backend: str = "auto"
@@ -67,6 +75,7 @@ class ExecOptions:
     plan_cache_size: int = 32
     result_cache_size: int = 1024
     plan_store: Optional[Any] = None
+    verify: Optional[bool] = None
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)

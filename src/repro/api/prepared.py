@@ -157,7 +157,8 @@ class PreparedQuery:
                 dynamic_relations=self.dynamic_relations,
                 optimize=self.options.optimize,
                 plan_cache=self.db.plan_cache,
-                plan_store=self.options.plan_store)
+                plan_store=self.options.plan_store,
+                verify=self.options.verify)
         return self._plan
 
     def _engine(self, sr: Semiring) -> WeightedQueryEngine:
@@ -183,7 +184,8 @@ class PreparedQuery:
                         strategy=self.options.strategy,
                         optimize=self.options.optimize,
                         plan_cache=self.db.plan_cache,
-                        plan_store=self.options.plan_store)
+                        plan_store=self.options.plan_store,
+                        verify=self.options.verify)
                     self._engines[sr.name] = engine
                 return engine
 
@@ -386,7 +388,7 @@ class PreparedQuery:
             self._maintained[sr.name] = handle
         return handle
 
-    def enumerate(self, dynamic: Optional[Sequence[str]] = None):
+    def enumerate(self, dynamic: Optional[Sequence[str]] = None) -> Any:
         """A constant-delay enumerator over a snapshot of the database.
 
         For a query prepared from an FO *formula*, returns a
@@ -515,7 +517,7 @@ class BoundQuery:
 
     __slots__ = ("prepared", "arguments")
 
-    def __init__(self, prepared: PreparedQuery, arguments: Tuple):
+    def __init__(self, prepared: PreparedQuery, arguments: Tuple) -> None:
         self.prepared = prepared
         self.arguments = arguments
 
@@ -560,12 +562,12 @@ class MaintainedQuery:
     *every* consumer and cache of the database — the maintained handle
     cannot be used to bypass invalidation."""
 
-    def __init__(self, prepared: PreparedQuery, sr: Semiring):
+    def __init__(self, prepared: PreparedQuery, sr: Semiring) -> None:
         self.prepared = prepared
         self.sr = sr
         self._dq = None
 
-    def _handle(self):
+    def _handle(self) -> Any:
         if self._dq is None:
             plan = self.prepared._closed_plan()
             self._dq = plan._dynamic(self.sr,

@@ -48,9 +48,36 @@ class PermGate:
 
     The number of rows is bounded by the query (Theorem 6); the number of
     columns is data-dependent.
+
+    Shape is validated at construction: the matrix must be rectangular,
+    non-empty, and every entry must be ``None`` or a nonnegative gate id.
+    A malformed matrix (e.g. a truncated row in a tampered serialized
+    plan) fails here, at the trust boundary, instead of deep inside an
+    evaluation.
     """
 
     entries: Tuple[Tuple[Optional[GateId], ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("permanent gate needs at least one row")
+        width = len(self.entries[0])
+        if width < 1:
+            raise ValueError("permanent gate needs at least one column")
+        for index, row in enumerate(self.entries):
+            if len(row) != width:
+                raise ValueError(
+                    f"permanent gate matrix is not rectangular: row {index} "
+                    f"has {len(row)} entries, row 0 has {width}")
+            for entry in row:
+                if entry is None:
+                    continue
+                if isinstance(entry, bool) or not isinstance(entry, int) \
+                        or entry < 0:
+                    raise ValueError(
+                        f"permanent gate entry {entry!r} (row {index}) is "
+                        f"not a gate id; entries must be None or a "
+                        f"nonnegative int")
 
     @property
     def rows(self) -> int:
@@ -67,7 +94,7 @@ Gate = Any  # InputGate | ConstGate | AddGate | MulGate | PermGate
 class CircuitBuilder:
     """Hash-consing builder: structurally equal gates are shared."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.gates: List[Gate] = []
         self._index: Dict[Gate, GateId] = {}
         self.inputs: Dict[Hashable, GateId] = {}

@@ -271,7 +271,7 @@ def dump_plan_bytes(state: Any, format_version: Optional[int] = None,
     paths; production callers always stamp the current versions.
     """
     payload = zlib.compress(
-        json.dumps(state, separators=(",", ":")).encode("utf-8"), 6)
+        json.dumps(state, separators=(",", ":")).encode(), 6)
     header = json.dumps({
         "format": (PLAN_FORMAT_VERSION if format_version is None
                    else format_version),
@@ -279,7 +279,7 @@ def dump_plan_bytes(state: Any, format_version: Optional[int] = None,
                     else library_version),
         "length": len(payload),
         "sha256": hashlib.sha256(payload).hexdigest(),
-    }, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    }, separators=(",", ":"), sort_keys=True).encode()
     return PLAN_MAGIC + struct.pack(">I", len(header)) + header + payload
 
 

@@ -511,7 +511,8 @@ def compile_structure_query(structure: Structure, expr: WExpr,
                             coloring: Optional[Dict[Hashable, int]] = None,
                             optimize: bool = True,
                             plan_cache: Optional[Any] = None,
-                            plan_store: Optional[Any] = None
+                            plan_store: Optional[Any] = None,
+                            verify: Optional[bool] = None
                             ) -> CompiledQuery:
     """Deprecated seam: compile ``expr`` over ``structure`` (Theorem 6).
 
@@ -526,7 +527,7 @@ def compile_structure_query(structure: Structure, expr: WExpr,
                                     dynamic_relations=dynamic_relations,
                                     coloring=coloring, optimize=optimize,
                                     plan_cache=plan_cache,
-                                    plan_store=plan_store)
+                                    plan_store=plan_store, verify=verify)
 
 
 def _compile_structure_query(structure: Structure, expr: WExpr,
@@ -534,7 +535,8 @@ def _compile_structure_query(structure: Structure, expr: WExpr,
                              coloring: Optional[Dict[Hashable, int]] = None,
                              optimize: bool = True,
                              plan_cache: Optional[Any] = None,
-                             plan_store: Optional[Any] = None
+                             plan_store: Optional[Any] = None,
+                             verify: Optional[bool] = None
                              ) -> CompiledQuery:
     """Theorem 6 end-to-end (quantifier-free brackets; see repro.qe for
     eliminating quantifiers first).
@@ -560,6 +562,15 @@ def _compile_structure_query(structure: Structure, expr: WExpr,
     disk load (also seeding the memory cache) → compile, with the
     compiled plan written back to disk.  A corrupt or stale entry is a
     miss (recompile), never an error.
+
+    ``verify`` runs the IR verifier
+    (:func:`repro.analysis.verify_plan`) over the freshly compiled
+    plan before it is returned or persisted — the opt-in post-compile
+    trust seam.  ``None`` (default) defers to the
+    ``REPRO_VERIFY_PLANS`` environment variable.  Plans loaded from
+    ``plan_store`` are always verified by the store itself (disk bytes
+    are untrusted); in-memory cache hits rebind plans this process
+    already produced, so they are not re-verified.
     """
     if (plan_cache is not None or plan_store is not None) \
             and coloring is None:
@@ -578,7 +589,7 @@ def _compile_structure_query(structure: Structure, expr: WExpr,
                 return loaded
         compiled = _compile_structure_query(
             structure, expr, dynamic_relations=dynamic_relations,
-            optimize=optimize)
+            optimize=optimize, verify=verify)
         # Store a pristine snapshot: the caller may mutate its plan's
         # recorded weights/forest labels, which must not drift the cached
         # template away from the content the key fingerprints.
@@ -647,4 +658,11 @@ def _compile_structure_query(structure: Structure, expr: WExpr,
         # installs have no consumer (the python backend walks the circuit
         # directly), so they keep the lazy schedule() accessor only.
         compiled.schedule()
+    # Post-compile trust seam (opt-in): catch a compiler/optimizer bug
+    # at the source instead of deep inside an evaluation.  Imported
+    # lazily — repro.core must not pay for repro.analysis on every use.
+    from ..analysis.verify import verification_enabled
+    if verification_enabled(verify):
+        from ..analysis.verify import verify_plan
+        verify_plan(compiled)
     return compiled

@@ -87,7 +87,8 @@ class WeightedQueryEngine:
               strategy: Optional[str] = None,
               optimize: bool = True,
               plan_cache: Optional[Any] = None,
-              plan_store: Optional[Any] = None):
+              plan_store: Optional[Any] = None,
+              verify: Optional[bool] = None):
         self.sr = sr
         self.free: Tuple[str, ...] = tuple(
             free_order if free_order is not None else sorted(expr.free_vars()))
@@ -136,7 +137,7 @@ class WeightedQueryEngine:
             self.compiled: CompiledQuery = _compile_structure_query(
                 structure, closed, dynamic_relations=dynamic_relations,
                 optimize=optimize, plan_cache=plan_cache,
-                plan_store=plan_store)
+                plan_store=plan_store, verify=verify)
             self.dynamic: DynamicQuery = self.compiled._dynamic(
                 sr, strategy=strategy)
         except BaseException:

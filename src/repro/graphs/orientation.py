@@ -90,7 +90,7 @@ class Orientation:
         try:
             return self.out[vertex].index(target) + 1
         except ValueError:
-            raise KeyError(f"{target!r} is not an out-neighbor of {vertex!r}")
+            raise KeyError(f"{target!r} is not an out-neighbor of {vertex!r}") from None
 
     def source_of_clique(self, vertices: List[Vertex]) -> Vertex:
         """The unique source of an (acyclically oriented) clique."""

@@ -32,7 +32,7 @@ class PlanCache:
     process-wide.
     """
 
-    def __init__(self, maxsize: int = 32):
+    def __init__(self, maxsize: int = 32) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize

@@ -18,6 +18,11 @@ Robustness contract:
   file is removed;
 * **corruption-tolerant** — a truncated/bit-flipped/garbage entry is a
   counted miss (and removed), never an exception to the caller;
+* **verified** — every deserialized plan passes the full IR
+  well-formedness contract (:func:`repro.analysis.verify_plan`) before
+  it is returned; a plan that decodes but violates an invariant (a
+  tampered gate id, a reordered layer, a dropped state field) is a
+  counted ``rejected`` miss, removed like any other corrupt entry;
 * **bounded** — an LRU sweep (by file mtime; hits refresh it) caps the
   entry count and total bytes;
 * **no pickle** — the format is data-only JSON in a checksummed binary
@@ -37,6 +42,7 @@ import os
 import threading
 from typing import Any, Dict, Hashable, Optional
 
+from ..analysis.verify import PlanVerifyError, verify_plan
 from ..circuits.serialize import (PlanNotSerializable, PlanStaleError,
                                   dump_plan_bytes, encode_atom,
                                   load_plan_bytes)
@@ -71,6 +77,7 @@ class PlanStore:
         self.hits = 0
         self.misses = 0
         self.stale = 0
+        self.rejected = 0
         self.errors = 0
         self.skips = 0
         self.saves = 0
@@ -81,7 +88,7 @@ class PlanStore:
     def _entry_path(self, key: Hashable) -> str:
         digest = hashlib.sha256(
             json.dumps(encode_atom(key), separators=(",", ":"),
-                       sort_keys=True).encode("utf-8")).hexdigest()
+                       sort_keys=True).encode()).hexdigest()
         return os.path.join(self.path, f"{_ENTRY_PREFIX}{digest}"
                                        f"{_ENTRY_SUFFIX}")
 
@@ -111,6 +118,17 @@ class PlanStore:
                 raise PlanStaleError("stored key does not match")
             plan = CompiledQuery.from_state(state.get("plan"), structure,
                                             expr)
+            # Disk bytes are untrusted: decode succeeding only means the
+            # container and codec were intact.  The verifier checks the
+            # IR contract itself (topological order, arities, schedule
+            # coverage, recorded-input completeness) before the plan can
+            # reach an evaluator.
+            verify_plan(plan)
+        except PlanVerifyError:
+            with self._lock:
+                self.rejected += 1
+            self._discard(path)
+            return None
         except PlanStaleError:
             with self._lock:
                 self.stale += 1
@@ -165,7 +183,7 @@ class PlanStore:
         except OSError:
             pass
 
-    def _entries(self):
+    def _entries(self) -> list:
         """``(path, mtime, size)`` for every entry file, tolerating
         concurrent deletion."""
         entries = []
@@ -218,6 +236,7 @@ class PlanStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "stale": self.stale,
+                "rejected": self.rejected,
                 "errors": self.errors,
                 "skips": self.skips,
                 "saves": self.saves,

@@ -28,7 +28,7 @@ class ResultCache:
 
     MISS = MISS
 
-    def __init__(self, maxsize: int = 1024):
+    def __init__(self, maxsize: int = 1024) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
@@ -117,7 +117,7 @@ class ScopedResultCache:
 
     MISS = MISS
 
-    def __init__(self, parent: ResultCache, namespace: Hashable):
+    def __init__(self, parent: ResultCache, namespace: Hashable) -> None:
         self.parent = parent
         self.namespace = namespace
         self._lock = threading.Lock()

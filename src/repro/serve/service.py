@@ -63,7 +63,7 @@ class QueryService:
     ``result_cache_size=0`` to disable result caching.
     """
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         # Direct construction is the deprecated seam; the facade builds
         # services through :meth:`_create` (see Database.serve).
         warn_deprecated("QueryService(...)", "Database.serve(expr, ...)")
@@ -91,7 +91,8 @@ class QueryService:
               result_cache_size: int = 1024,
               result_cache: Optional[Any] = None,
               workers: Optional[int] = None,
-              executor: Optional[Any] = None):
+              executor: Optional[Any] = None,
+              verify: Optional[bool] = None):
         validate_backend(backend)
         validate_exact_mode(exact_mode)
         if pool_size < 1:
@@ -129,7 +130,7 @@ class QueryService:
                     member, expr, sr, dynamic_relations=dynamic_relations,
                     free_order=free_order, strategy=strategy,
                     optimize=optimize, plan_cache=self.plan_cache,
-                    plan_store=plan_store))
+                    plan_store=plan_store, verify=verify))
         except BaseException:
             for engine in self.engines:
                 engine.close()

@@ -1,0 +1,10 @@
+"""REP003 negative fixture: invalidation without the epoch bump."""
+
+
+class PreparedQuery:
+    def __init__(self, db):
+        self.db = db
+        self._plan = None
+
+    def _invalidate(self):  # REP003: never bumps db._epoch
+        self._plan = None

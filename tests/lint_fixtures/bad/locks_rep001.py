@@ -1,0 +1,17 @@
+"""REP001 negative fixture: lock-order inversion (deadlock bait)."""
+
+import threading
+
+
+class Facade:
+    def __init__(self, db):
+        self.db = db
+        self._engine_lock = threading.RLock()
+        self._engines = {}
+
+    def engine(self, name):
+        # INVERTED: the engine lock is taken first, then the db lock —
+        # the update router takes them the other way around.
+        with self._engine_lock:
+            with self.db._lock:  # REP001
+                return self._engines.get(name)

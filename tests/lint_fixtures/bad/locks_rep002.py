@@ -1,0 +1,16 @@
+"""REP002 negative fixture: bare acquire/release instead of `with`."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs = []
+
+    def push(self, job):
+        self._lock.acquire()  # REP002
+        try:
+            self.jobs.append(job)
+        finally:
+            self._lock.release()  # REP002

@@ -1,0 +1,16 @@
+"""REP005 negative fixture: pickle and nondeterminism in a store module."""
+
+import pickle  # REP005
+import time
+
+
+def cache_key(state):
+    return hash(repr(state))  # REP005: salted per process
+
+
+def entry_name(state):
+    return f"{cache_key(state)}-{time.time()}"  # REP005
+
+
+def dump(state):
+    return pickle.dumps(state)

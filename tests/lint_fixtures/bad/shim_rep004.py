@@ -1,0 +1,9 @@
+"""REP004 negative fixture: a direct DeprecationWarning."""
+
+import warnings
+
+
+def old_entry_point():
+    warnings.warn("old_entry_point is deprecated",
+                  DeprecationWarning, stacklevel=2)  # REP004
+    return 0

@@ -1,0 +1,15 @@
+"""REP003 positive fixture: an invalidation path that bumps the epoch."""
+
+
+class PreparedQuery:
+    def __init__(self, db):
+        self.db = db
+        self._plan = None
+
+    def _invalidate(self):
+        self._plan = None
+        self.db._epoch += 1
+
+    def refresh(self):
+        # Not an invalidation path: the rule keys on the name.
+        self._plan = None

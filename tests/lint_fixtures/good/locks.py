@@ -1,0 +1,27 @@
+"""REP001/REP002 positive fixture: the sanctioned lock discipline."""
+
+import threading
+
+
+class Facade:
+    def __init__(self, db):
+        self.db = db
+        self._engine_lock = threading.RLock()
+        self._engines = {}
+
+    def engine(self, name):
+        # Correct order: db._lock strictly before _engine_lock, both
+        # via `with`.
+        with self.db._lock:
+            with self._engine_lock:
+                return self._engines.get(name)
+
+    def snapshot(self):
+        with self.db._lock:
+            return dict(self._engines)
+
+    def engines_only(self):
+        # Taking only the engine lock is fine — the inversion is
+        # acquiring a *db* lock while an engine lock is held.
+        with self._engine_lock:
+            return list(self._engines)

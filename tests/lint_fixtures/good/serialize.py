@@ -1,0 +1,17 @@
+"""REP005 positive fixture: deterministic, pickle-free serialization."""
+
+import hashlib
+import json
+import os
+import threading
+
+
+def cache_key(state):
+    blob = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def tmp_name(path):
+    # Process/thread ids are allowed: they make temp names unique but
+    # never leak into stored bytes or keys.
+    return f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"

@@ -1,0 +1,8 @@
+"""REP004 positive fixture: deprecation through the sanctioned seam."""
+
+from repro._compat import warn_deprecated
+
+
+def old_entry_point():
+    warn_deprecated("old_entry_point(...)", "new_entry_point(...)")
+    return 0

@@ -566,7 +566,7 @@ class TestUpdateRouting:
             def writer(seed):
                 rng = random.Random(1000 + seed)
                 try:
-                    for round_ in range(20):
+                    for _round in range(20):
                         with db.update() as tx:
                             for edge in rng.sample(edges, 3):
                                 tx.set_weight("w", edge, rng.randint(1, 9))

@@ -50,3 +50,15 @@ def weighted_graph_structure(graph, seed: int = 0, wmax: int = 4,
     return structure
 
 
+def compile_verified(structure, expr, **kwargs):
+    """Compile ``expr`` over ``structure`` with the IR verifier on.
+
+    The test suite's compile helper: every plan it produces has passed
+    :func:`repro.analysis.verify_plan`, so a structural regression in
+    the compiler/optimizer fails at the source instead of as a wrong
+    answer three assertions later.
+    """
+    from repro.core import _compile_structure_query
+    return _compile_structure_query(structure, expr, verify=True, **kwargs)
+
+
