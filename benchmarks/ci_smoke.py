@@ -75,7 +75,8 @@ REPO = os.path.dirname(HERE)
 # sits above their shrunken fast-mode sizes).  Exempt from the
 # speedup_vs_python >= 1 gate in fast mode ONLY — at full size the
 # vectorized backend must win on every backend-aware bench.
-SPEEDUP_EXEMPT_FAST = {"bench_batched_eval.py", "bench_serve.py"}
+SPEEDUP_EXEMPT_FAST = {"bench_batched_eval.py", "bench_groupby.py",
+                       "bench_serve.py"}
 
 # Clamp bounds for the calibration-derived threshold scale: a slower
 # runner may relax the gate up to 4x, a faster runner never tightens

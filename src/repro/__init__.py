@@ -22,8 +22,8 @@ Quickstart (the unified ``repro.api`` facade)::
 
 from . import (algebra, api, baselines, circuits, core, engine, enumeration,
                fog, graphs, logic, qe, semirings, serve, structures)
-from .api import (BoundQuery, Database, ExecOptions, MaintainedQuery,
-                  PreparedQuery, UpdateContext)
+from .api import (TOTAL, BoundQuery, Database, ExecOptions, MaintainedQuery,
+                  PreparedQuery, ResultTable, Select, UpdateContext)
 from .circuits import (HAVE_NUMPY, BatchedEvaluator, LayerSchedule,
                        OptimizeResult, StaticEvaluator, VectorizedEvaluator,
                        build_schedule, optimize_circuit)
@@ -46,7 +46,7 @@ from ._version import __version__  # noqa: F401 - re-export
 
 __all__ = [
     "Database", "PreparedQuery", "BoundQuery", "MaintainedQuery",
-    "UpdateContext", "ExecOptions",
+    "UpdateContext", "ExecOptions", "ResultTable", "Select", "TOTAL",
     "compile_structure_query", "CompiledQuery", "DynamicQuery",
     "plan_cache_key",
     "QueryService", "PlanCache", "PlanStore", "ResultCache",

@@ -249,6 +249,7 @@ _REBOUND_FIELDS = frozenset({"structure", "gaifman", "blocks"})
 #: ...or ephemeral caches/telemetry rebuilt lazily.
 _EPHEMERAL_FIELDS = frozenset({
     "_input_version", "_base_cache", "_kernel_stats", "_kernel_stats_lock",
+    "_stage_seconds",
 })
 
 #: The exact key set of a serialized plan state (``to_state()`` output).

@@ -11,9 +11,11 @@ took four entry points (``compile_structure_query``/``CompiledQuery``,
         q.value(NATURAL)                     # static value (closed)
         q.batch(valuations, NATURAL)         # batched what-ifs
         q.bind(x=a).value(NATURAL)           # cached point query
+        q.group_by(NATURAL)                  # grouped aggregation (OLAP)
         m = q.maintain(NATURAL); m.value()   # maintained under updates
         q.enumerate()                        # constant-delay enumeration
         svc = db.serve(expr, NATURAL)        # micro-batched service
+        db.select(expr).group_by("x").run(NATURAL)  # SQL-ish sugar
         with db.update() as tx:              # routed, cache-coherent
             tx.set_weight("w", edge, 3)
 
@@ -26,6 +28,7 @@ thread pool.
 from .database import Database, UpdateContext
 from .options import ExecOptions
 from .prepared import BoundQuery, MaintainedQuery, PreparedQuery
+from .table import TOTAL, ResultTable, Select
 
 __all__ = ["Database", "PreparedQuery", "BoundQuery", "MaintainedQuery",
-           "UpdateContext", "ExecOptions"]
+           "UpdateContext", "ExecOptions", "ResultTable", "Select", "TOTAL"]

@@ -37,6 +37,7 @@ from ..serve import PlanCache, PlanStore, QueryService, ResultCache
 from ..structures import Structure
 from .options import ExecOptions
 from .prepared import PreparedQuery, query_footprint
+from .table import Select
 
 #: Process-unique database ids: result-cache scope namespaces include
 #: this, so Databases *sharing* one ResultCache (supported by the
@@ -185,6 +186,24 @@ class Database:
             self._prune()
             self._services.append(service)
         return service
+
+    def select(self, expr: Any, dynamic: Sequence[str] = (),
+               **overrides) -> Select:
+        """SQL-ish grouped-aggregation sugar over :meth:`prepare`::
+
+            table = (db.select(expr)
+                       .group_by("x")
+                       .having(lambda value: value > 0)
+                       .run(NATURAL))
+
+        The builder prepares the expression on first :meth:`~repro.api.
+        Select.run` (with the grouping parameters as ``params``) and
+        keeps the prepared handle across runs, so repeated evaluations
+        hit the shared epoch-tagged result cache.  Keyword overrides are
+        per-handle :class:`ExecOptions` refinements, as in ``prepare``.
+        """
+        self._check_open()
+        return Select(self, expr, dynamic=dynamic, **overrides)
 
     def update(self) -> "UpdateContext":
         """An update context routing writes through every consumer::
@@ -385,6 +404,7 @@ class UpdateContext:
         with db._lock:
             db._check_open()
             db._prune()
+            prev_epoch = db._epoch
             # Pre-validate before mutating anything (the transactional
             # feel): a service whose query actually reads this weight
             # must be able to absorb the write in place.  A service
@@ -410,6 +430,12 @@ class UpdateContext:
             db.structure.set_weight(name, tup, value)
             if touched:
                 db._epoch += 1
+            if db._epoch != prev_epoch:
+                # Fine-grained invalidation: the bump staled every
+                # cached point/group result; carry forward the entries
+                # this one write provably cannot affect.
+                for prepared in db._prepared:
+                    prepared._retag_points("w", name, tup, prev_epoch)
             self.touched += touched
             return touched
 
@@ -426,6 +452,7 @@ class UpdateContext:
         with db._lock:
             db._check_open()
             db._prune()
+            prev_epoch = db._epoch
             # Same relevance-aware pre-validation as set_weight: only a
             # service whose query reads the relation must absorb it.
             absorbing = []
@@ -459,5 +486,9 @@ class UpdateContext:
                     db.structure.remove_tuple(name, tup)
             if touched:
                 db._epoch += 1
+            if db._epoch != prev_epoch:
+                # Fine-grained invalidation, as in set_weight.
+                for prepared in db._prepared:
+                    prepared._retag_points("r", name, tup, prev_epoch)
             self.touched += touched
             return touched

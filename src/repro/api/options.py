@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Any, Optional
 
-from ..circuits import validate_backend, validate_exact_mode
+from ..circuits import (DEFAULT_MAX_GROUPS, validate_backend,
+                        validate_exact_mode, validate_group_options)
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,18 @@ class ExecOptions:
         Dynamic-evaluator strategy for maintained handles.
     ``pool_size`` / ``max_batch_size`` / ``max_batch_delay``
         Serving knobs forwarded to :meth:`repro.api.Database.serve`.
+    ``group_batch_size``
+        Chunk grouped-aggregation sweeps (``PreparedQuery.group_by``)
+        into sweeps of at most this many group columns; ``None``
+        (default) evaluates the whole group set in one sweep.  Bounds
+        the ``(gates, groups)`` working-set of the vectorized backend.
+    ``max_groups``
+        Ceiling on an *enumerated* group domain: ``group_by`` without
+        explicit keys takes the cartesian product of the domain over
+        the query parameters (``|A|^k`` groups) and refuses beyond this
+        bound instead of silently allocating.  Both group knobs are
+        validated eagerly through the shared
+        :mod:`repro.circuits.backends` seam.
     ``plan_cache_size`` / ``result_cache_size``
         Capacities of the database-owned shared caches (a
         ``result_cache_size`` of 0 disables result caching).
@@ -72,6 +85,8 @@ class ExecOptions:
     pool_size: int = 1
     max_batch_size: int = 64
     max_batch_delay: float = 0.002
+    group_batch_size: Optional[int] = None
+    max_groups: int = DEFAULT_MAX_GROUPS
     plan_cache_size: int = 32
     result_cache_size: int = 1024
     plan_store: Optional[Any] = None
@@ -88,6 +103,7 @@ class ExecOptions:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_batch_delay < 0:
             raise ValueError("max_batch_delay must be >= 0")
+        validate_group_options(self.group_batch_size, self.max_groups)
         if self.plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
         if self.result_cache_size < 0:

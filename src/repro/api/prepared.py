@@ -27,10 +27,12 @@ database's fingerprint check.
 
 from __future__ import annotations
 
+import itertools
 import threading
-from typing import Any, Dict, FrozenSet, Hashable, List, Optional, \
-    Sequence, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Hashable, List, \
+    Optional, Sequence, Tuple
 
+from .._compat import warn_deprecated
 from ..core import CompiledQuery, _compile_structure_query
 from ..engine import WeightedQueryEngine
 from ..enumeration import AnswerEnumerator, ProvenanceEnumerator
@@ -40,6 +42,7 @@ from ..logic.fo import Atom as FoAtom
 from ..logic.weighted import WAdd, WConst, WMul, WSum, Weight
 from ..semirings import Semiring
 from .options import ExecOptions
+from .table import ResultTable, apply_having, attach_rollup
 
 
 def _merge(a: Optional[FrozenSet], b: Optional[FrozenSet]
@@ -134,6 +137,7 @@ class PreparedQuery:
         self._engine_lock = threading.RLock()
         self._maintained: Dict[str, "MaintainedQuery"] = {}
         self._scopes: Dict[str, Any] = {}
+        self._last_group: Optional[Dict[str, Any]] = None
         self._closed = False
 
     # -- plumbing ---------------------------------------------------------------
@@ -293,6 +297,59 @@ class PreparedQuery:
             return 0, wrote_base
         return touched, wrote_base
 
+    def _retag_points(self, kind: str, name: str, tup: Tuple,
+                      from_epoch: int) -> None:
+        """Carry provably-unaffected cached point/group results across
+        the epoch bump of one routed write (fine-grained invalidation).
+
+        Called by ``Database.update`` (lock held) after the write landed
+        and the epoch moved.  Three tiers, from cheapest to sharpest:
+
+        * the query never reads the written name — every cached entry of
+          this handle is still exact: retag them all;
+        * a live engine exists — the circuit-level co-occurrence
+          analysis (:meth:`~repro.engine.WeightedQueryEngine.
+          affected_arguments`) proves which argument tuples the write
+          can reach; retag the rest;
+        * the write invalidated this handle (engines gone) — nothing is
+          provable: leave everything stale for lazy eviction.
+        """
+        if self._closed or not self._scopes:
+            return
+        to_epoch = self.db._epoch
+        if to_epoch == from_epoch:
+            return  # no effective bump: entries are still visible as-is
+        if kind == "w":
+            relevant = self._weight_names is None \
+                or name in self._weight_names
+            update_keys: Tuple = (("w", name, tup),)
+        else:
+            relevant = self._relation_names is None \
+                or name in self._relation_names \
+                or name in self.dynamic_relations
+            update_keys = (("dynrel", name, tup, True),
+                           ("dynrel", name, tup, False))
+        for sr_name, scope in self._scopes.items():
+            cached = scope.keys()
+            if not cached:
+                continue
+            if not relevant:
+                for args in cached:
+                    scope.retag(args, from_epoch, to_epoch)
+                continue
+            with self._engine_lock:
+                engine = self._engines.get(sr_name)
+                if engine is None or engine.closed:
+                    continue  # invalidated: leave stale (lazy eviction)
+                affected = engine.affected_arguments(update_keys)
+            if affected is None:
+                continue
+            for args in cached:
+                if len(args) != len(affected) or not all(
+                        args[i] in affected[i]
+                        for i in range(len(args))):
+                    scope.retag(args, from_epoch, to_epoch)
+
     # -- execution modes ---------------------------------------------------------
 
     def value(self, sr: Semiring) -> Any:
@@ -341,6 +398,175 @@ class PreparedQuery:
             sr, items, backend=opts.backend, workers=opts.workers,
             executor=executor, exact_mode=opts.exact_mode)
 
+    def _group_domain(self, keys: Optional[Sequence[Any]],
+                      max_groups: int) -> List[Tuple]:
+        """The ordered, deduplicated group key tuples to evaluate.
+
+        ``keys=None`` enumerates the cartesian product of the structure's
+        domain over the parameters (domain order, ``|A|^k`` groups,
+        refused beyond ``max_groups``); explicit ``keys`` are normalized
+        to parameter-aligned tuples — a tuple (or list) of the parameter
+        arity is a full key, anything else is a bare element of a 1-ary
+        key (so tuple-valued domain elements work unwrapped).  Elements
+        are validated against the domain eagerly, and duplicates
+        evaluate once and appear once.
+        """
+        domain = list(self.db.structure.domain)
+        if keys is None:
+            count = len(domain) ** len(self.params)
+            if count > max_groups:
+                raise ValueError(
+                    f"group_by() would enumerate {count} groups "
+                    f"(|domain|^{len(self.params)}) > max_groups="
+                    f"{max_groups}; pass explicit keys or raise the "
+                    f"max_groups option")
+            return [tuple(combo) for combo in
+                    itertools.product(domain, repeat=len(self.params))]
+        members = frozenset(domain)
+        normalized: List[Tuple] = []
+        for item in keys:
+            if isinstance(item, list):
+                item = tuple(item)
+            if isinstance(item, tuple) and len(item) == len(self.params):
+                tup = item
+            elif len(self.params) == 1:
+                tup = (item,)
+            else:
+                raise TypeError(f"group keys must be {len(self.params)}-"
+                                f"tuples aligned with params {self.params}; "
+                                f"got {item!r}")
+            for element in tup:
+                if element not in members:
+                    raise ValueError(
+                        f"group key {tup!r} does not match params "
+                        f"{self.params}: {element!r} is not in the "
+                        f"structure's domain")
+            normalized.append(tup)
+        return list(dict.fromkeys(normalized))
+
+    def group_by(self, keys: Optional[Sequence[Any]] = None,
+                 sr: Optional[Semiring] = None, *,
+                 having: Optional[Callable[[Any], bool]] = None,
+                 rollup: bool = False,
+                 backend: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 exact_mode: Optional[str] = None,
+                 group_batch_size: Optional[int] = None,
+                 max_groups: Optional[int] = None) -> ResultTable:
+        """All group aggregates of a parameterized query, in one sweep.
+
+        The query's parameters are the grouping keys: each group
+        ``a = (a_1, ..., a_k)`` contributes the point value ``f(a)``.
+        Instead of ``k`` independent point queries, every group becomes
+        one *column* of a single batched sweep over the shared compiled
+        circuit (Theorem 8's selector protocol, amortized across the
+        whole group domain; on the vectorized backend the selector edits
+        collapse into one scatter over the memoized base column).
+
+        ``keys=None`` enumerates the group domain from the structure
+        (cartesian product of the domain over the parameters, bounded by
+        the ``max_groups`` option); otherwise ``keys`` lists explicit
+        key valuations (tuples aligned with ``params``, or bare elements
+        for a single parameter).  ``group_by(sr)`` is accepted as
+        shorthand for ``group_by(None, sr)``.
+
+        ``having`` filters base rows by a predicate on the aggregate
+        value; ``rollup=True`` appends ROLLUP subtotal rows (rolled-up
+        key positions marked :data:`repro.api.TOTAL`, folded with the
+        semiring's addition over *all* base groups — HAVING applies to
+        base rows only, as in SQL).  Results are memoized per group in
+        the database's epoch-tagged result cache — shared with
+        ``bind(...).value(sr)`` — and a routed ``db.update()``
+        invalidates only the touched groups' entries (the co-occurrence
+        analysis of :meth:`~repro.engine.WeightedQueryEngine.
+        affected_arguments`), so repeated group sweeps under updates
+        recompute only what changed.
+
+        ``backend``/``workers``/``exact_mode``/``group_batch_size``/
+        ``max_groups`` override the prepared options for this call.
+        Returns a :class:`~repro.api.ResultTable`.
+        """
+        if isinstance(keys, Semiring) and sr is None:
+            keys, sr = None, keys
+        if sr is None:
+            raise TypeError("group_by() needs a semiring: group_by(keys, "
+                            "sr) or group_by(sr) for the full group domain")
+        self._check()
+        if not self.params:
+            raise ValueError(
+                "group_by() needs a parameterized query (the parameters "
+                "are the grouping keys); a closed query has one value — "
+                "use value(sr)")
+        opts = self.options.merged(
+            **{key: value for key, value in
+               (("backend", backend), ("workers", workers),
+                ("exact_mode", exact_mode),
+                ("group_batch_size", group_batch_size),
+                ("max_groups", max_groups))
+               if value is not None})
+        group_keys = self._group_domain(keys, opts.max_groups)
+        scope = self._scope(sr)
+        epoch = self.db._epoch
+        values: Dict[Tuple, Any] = {}
+        if scope is not None:
+            for key in group_keys:
+                hit = scope.get(key, epoch)
+                if hit is not scope.MISS:
+                    values[key] = hit
+        misses = [key for key in group_keys if key not in values]
+        sweeps = 0
+        kernel_used = None
+        sweep_shape: Optional[Tuple[int, int]] = None
+        if misses:
+            executor = self.db._executor_for(opts.workers)
+            chunk = opts.group_batch_size or len(misses)
+            while True:
+                # Same refetch protocol as batch(): an invalidation
+                # racing this call closes the engine — rebuild and retry.
+                engine = self._engine(sr)
+                try:
+                    results: List[Any] = []
+                    for start in range(0, len(misses), chunk):
+                        results.extend(engine.query_groups(
+                            misses[start:start + chunk],
+                            backend=opts.backend, workers=opts.workers,
+                            executor=executor, exact_mode=opts.exact_mode))
+                        sweeps += 1
+                    break
+                except RuntimeError:
+                    if engine.closed:
+                        sweeps = 0
+                        continue
+                    raise
+            kernel_used = engine.compiled.kernel_used() or "python"
+            # The vectorized value matrix is (gates, group columns).
+            sweep_shape = (len(engine.compiled.circuit.gates),
+                           min(chunk, len(misses)))
+            for key, value in zip(misses, results):
+                values[key] = value
+                if scope is not None:
+                    # Tagged with the epoch read *before* the sweep: an
+                    # update that landed meanwhile already advanced it,
+                    # so a racing entry can never serve a stale answer.
+                    scope.put(key, value, epoch)
+        base_values = [values[key] for key in group_keys]
+        stats = {
+            "groups": len(group_keys),
+            "sweeps": sweeps,
+            "sweep_shape": sweep_shape,
+            "kernel": kernel_used,
+            "cache_hits": len(group_keys) - len(misses),
+            "cache_misses": len(misses),
+        }
+        self._last_group = stats
+        out_keys, out_values = apply_having(group_keys, base_values, having)
+        if rollup:
+            all_keys, all_values = attach_rollup(group_keys, base_values, sr)
+            out_keys = out_keys + all_keys[len(group_keys):]
+            out_values = out_values + all_values[len(group_keys):]
+        return ResultTable(self.params + ("value",), out_keys, out_values,
+                           stats)
+
     def bind(self, *args, **kwargs) -> "BoundQuery":
         """Bind the query's parameters to concrete elements.
 
@@ -388,7 +614,9 @@ class PreparedQuery:
             self._maintained[sr.name] = handle
         return handle
 
-    def enumerate(self, dynamic: Optional[Sequence[str]] = None) -> Any:
+    def enumerate(self, *deprecated: Any,
+                  dynamic: Optional[Sequence[str]] = None,
+                  **overrides: Any) -> Any:
         """A constant-delay enumerator over a snapshot of the database.
 
         For a query prepared from an FO *formula*, returns a
@@ -397,8 +625,25 @@ class PreparedQuery:
         :class:`~repro.enumeration.ProvenanceEnumerator` of its
         monomials (Theorem 22).  The enumerator owns a content snapshot:
         drive its dynamics through its own update methods.
+
+        ``dynamic`` overrides the prepared dynamic-relation set for the
+        snapshot (keyword-only; the old positional spelling is
+        deprecated).  Any further keyword arguments are
+        :class:`~repro.api.ExecOptions` overrides for this call —
+        ``optimize``/``verify`` reach the enumerator's compile.
         """
+        if deprecated:
+            # Pre-ExecOptions signature: enumerate(["E"]).  One styled
+            # DeprecationWarning through the shared _compat seam.
+            if len(deprecated) > 1 or dynamic is not None:
+                raise TypeError("enumerate() takes at most the keyword "
+                                "arguments dynamic=... and ExecOptions "
+                                "overrides")
+            warn_deprecated("PreparedQuery.enumerate(dynamic_list)",
+                            "PreparedQuery.enumerate(dynamic=[...])")
+            dynamic = deprecated[0]
         self._check()
+        opts = self.options.merged(**overrides)
         snapshot = self.db._snapshot()
         declared = (tuple(self.dynamic_relations) if dynamic is None
                     else tuple(dynamic))
@@ -408,14 +653,18 @@ class PreparedQuery:
                                  "evaluate value(BOOLEAN) instead")
             return AnswerEnumerator(snapshot, self.formula,
                                     free_order=self.params,
-                                    dynamic_relations=declared)
+                                    dynamic_relations=declared,
+                                    optimize=opts.optimize,
+                                    verify=opts.verify)
         if self.params:
             raise ValueError(
                 "enumerate() needs an FO formula (answer enumeration) or a "
                 "closed weighted expression (provenance monomials); prepare "
                 "the formula itself to enumerate its answers")
         return ProvenanceEnumerator(snapshot, self.expr,
-                                    dynamic_relations=declared)
+                                    dynamic_relations=declared,
+                                    optimize=opts.optimize,
+                                    verify=opts.verify)
 
     # -- introspection -----------------------------------------------------------
 
@@ -447,6 +696,8 @@ class PreparedQuery:
             info.update(compiled.stats())
         else:
             info["compiled"] = False
+        if self._last_group is not None:
+            info["group_by"] = dict(self._last_group)
         return info
 
     def explain(self) -> str:
@@ -469,12 +720,25 @@ class PreparedQuery:
                      f"exact_mode={opts.exact_mode!r} "
                      f"workers={opts.workers} optimize={opts.optimize} "
                      f"strategy={opts.strategy}")
+        stages = stats.get("compile_stages")
+        if stages:
+            rendered = ", ".join(f"{name}={seconds * 1e3:.2f}ms"
+                                 for name, seconds in stages.items())
+            lines.append(f"  compile stages: {rendered}")
         kernel = stats.get("exact_kernel")
         if kernel is not None:
             lines.append(
                 f"  exact kernel: requested {kernel['requested']!r}, ran "
                 f"{kernel['used']!r} ({kernel['fallbacks']} fallback(s) "
                 f"over {kernel['batches']} batch(es))")
+        group = stats.get("group_by")
+        if group is not None:
+            lines.append(
+                f"  last group_by: {group['groups']} group(s) in "
+                f"{group['sweeps']} sweep(s), shape={group['sweep_shape']}, "
+                f"kernel={group['kernel']!r}, cache "
+                f"{group['cache_hits']} hit(s) / "
+                f"{group['cache_misses']} miss(es)")
         lines.append(f"  shared caches: plan={self.db.plan_cache.stats()}")
         if self.db.result_cache is not None:
             lines.append(f"                 result="

@@ -1,0 +1,239 @@
+"""ResultTable: the grouped-aggregation result surface.
+
+``PreparedQuery.group_by`` (and ``QueryService.group_by``) evaluate all
+groups of a parameterized query in one batched sweep and return a
+:class:`ResultTable` — ordered rows of key tuple → aggregate value with
+a small relational surface: ``columns``, iteration, ``to_dicts()``, an
+optional ``to_numpy()`` for the value column, and lookup by group key.
+
+ROLLUP subtotal rows mark the rolled-up key positions with the
+:data:`TOTAL` sentinel (the analogue of SQL's ``NULL`` in ``ROLLUP``
+output, without colliding with a legitimate domain element ``None``).
+
+:class:`Select` is the SQL-ish sugar over the same seam::
+
+    table = (db.select(expr)
+               .group_by("x")
+               .having(lambda value: value > 0)
+               .run(NATURAL))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, \
+    Tuple
+
+
+class _Total:
+    """Singleton marking a rolled-up key position in a subtotal row."""
+
+    __slots__ = ()
+    _instance: Optional["_Total"] = None
+
+    def __new__(cls) -> "_Total":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TOTAL"
+
+
+#: The rolled-up key marker in ROLLUP subtotal rows.
+TOTAL = _Total()
+
+
+class ResultTable:
+    """Ordered rows of group key tuple → aggregate value.
+
+    Each row is ``key + (value,)`` — a flat tuple aligned with
+    :attr:`columns` (the query's parameter names plus the value column).
+    Base rows keep the evaluation's group order; ROLLUP subtotal rows
+    (key positions marked :data:`TOTAL`, finest level first, grand total
+    last) follow them.  ``stats`` carries the sweep telemetry the
+    producing seam recorded (group count, sweep shape, kernel, cache
+    hits) — surfaced by ``PreparedQuery.stats()``/``explain()``.
+    """
+
+    __slots__ = ("columns", "_keys", "_values", "stats")
+
+    def __init__(self, columns: Sequence[str], keys: Sequence[Tuple],
+                 values: Sequence[Any],
+                 stats: Optional[Dict[str, Any]] = None):
+        if len(keys) != len(values):
+            raise ValueError("keys and values must have equal length")
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self._keys: List[Tuple] = [tuple(key) for key in keys]
+        self._values: List[Any] = list(values)
+        self.stats: Dict[str, Any] = dict(stats or {})
+
+    # -- relational surface ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        for key, value in zip(self._keys, self._values):
+            yield key + (value,)
+
+    def keys(self) -> List[Tuple]:
+        """The group key tuples, in row order."""
+        return list(self._keys)
+
+    def values(self) -> List[Any]:
+        """The aggregate values, in row order."""
+        return list(self._values)
+
+    def _as_key(self, key: Any) -> Tuple:
+        """Normalize a lookup to a full key tuple.  A tuple of the key
+        arity is the row key itself; anything else is a bare element of
+        a 1-ary key (so tuple-valued domain elements still work:
+        ``table[(0, 1)]`` on a 1-ary table means the element ``(0, 1)``).
+        """
+        arity = len(self.columns) - 1
+        if isinstance(key, tuple) and len(key) == arity:
+            return key
+        return (key,)
+
+    def __getitem__(self, key: Any) -> Any:
+        """The aggregate of one group (``table[a]`` or ``table[a, b]``)."""
+        key = self._as_key(key)
+        for row_key, value in zip(self._keys, self._values):
+            if row_key == key:
+                return value
+        raise KeyError(key)
+
+    def __contains__(self, key: Any) -> bool:
+        return self._as_key(key) in self._keys
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """One ``{column: value}`` dict per row, in row order."""
+        return [dict(zip(self.columns, row)) for row in self]
+
+    def to_numpy(self):
+        """The value column as a NumPy array (requires numpy).
+
+        Group keys are arbitrary domain elements, so only the aggregate
+        column has an array form; pair it with :meth:`keys` for the row
+        labels.
+        """
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - numpy leg always has it
+            raise RuntimeError(
+                "ResultTable.to_numpy() requires numpy; iterate the table "
+                "or use to_dicts() on numpy-less installs") from None
+        return numpy.asarray(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ResultTable columns={self.columns} rows={len(self)}>")
+
+
+def attach_rollup(keys: List[Tuple], values: List[Any], sr: Any
+                  ) -> Tuple[List[Tuple], List[Any]]:
+    """Append ROLLUP subtotal rows to a base group listing.
+
+    For ``k``-ary keys, level ``j`` (``j = k-1 .. 0``) folds the base
+    aggregates of every distinct ``j``-prefix with the semiring's
+    addition, emitting ``prefix + (TOTAL,) * (k - j)`` rows — finest
+    subtotals first, the grand total (all positions ``TOTAL``) last.
+    Subtotals aggregate *all* base groups (a HAVING filter applies to
+    base rows only; see ``group_by``), and prefixes keep first-seen
+    order, so the output is deterministic in the base row order.
+    """
+    if not keys:
+        return keys, values
+    arity = len(keys[0])
+    out_keys = list(keys)
+    out_values = list(values)
+    for level in range(arity - 1, -1, -1):
+        folded: Dict[Tuple, Any] = {}
+        order: List[Tuple] = []
+        for key, value in zip(keys, values):
+            prefix = key[:level]
+            if prefix in folded:
+                folded[prefix] = sr.add(folded[prefix], value)
+            else:
+                folded[prefix] = value
+                order.append(prefix)
+        pad = (TOTAL,) * (arity - level)
+        for prefix in order:
+            out_keys.append(prefix + pad)
+            out_values.append(folded[prefix])
+    return out_keys, out_values
+
+
+def apply_having(keys: List[Tuple], values: List[Any],
+                 having: Optional[Callable[[Any], bool]]
+                 ) -> Tuple[List[Tuple], List[Any]]:
+    """Filter base group rows by a predicate on the aggregate value."""
+    if having is None:
+        return keys, values
+    kept_keys: List[Tuple] = []
+    kept_values: List[Any] = []
+    for key, value in zip(keys, values):
+        if having(value):
+            kept_keys.append(key)
+            kept_values.append(value)
+    return kept_keys, kept_values
+
+
+class Select:
+    """SQL-ish builder over ``Database.prepare(...).group_by(...)``.
+
+    Accumulates the grouping keys, HAVING predicate and ROLLUP flag,
+    then :meth:`run` prepares the expression once (cached on the
+    builder, registered with the database) and evaluates the grouped
+    sweep.  Repeated ``run`` calls reuse the prepared handle, so warm
+    groups come from the shared result cache.
+    """
+
+    def __init__(self, db: Any, expr: Any, dynamic: Sequence[str] = (),
+                 **overrides):
+        self._db = db
+        self._expr = expr
+        self._dynamic = tuple(dynamic)
+        self._overrides = dict(overrides)
+        self._params: Optional[Tuple[str, ...]] = None
+        self._keys: Optional[Sequence[Any]] = None
+        self._having: Optional[Callable[[Any], bool]] = None
+        self._rollup = False
+        self._prepared: Optional[Any] = None
+
+    def group_by(self, *params: str, keys: Optional[Sequence[Any]] = None
+                 ) -> "Select":
+        """GROUP BY clause: parameter names fix the key column order;
+        ``keys`` optionally restricts evaluation to explicit key tuples
+        instead of the enumerated domain."""
+        if not params:
+            raise ValueError("group_by() needs at least one parameter name")
+        self._params = tuple(params)
+        self._keys = keys
+        self._prepared = None  # the key order defines the prepared params
+        return self
+
+    def having(self, predicate: Callable[[Any], bool]) -> "Select":
+        """HAVING clause: keep base rows whose aggregate satisfies it."""
+        self._having = predicate
+        return self
+
+    def rollup(self, enabled: bool = True) -> "Select":
+        """Append ROLLUP subtotal rows (see :func:`attach_rollup`)."""
+        self._rollup = enabled
+        return self
+
+    def run(self, sr: Any, **overrides) -> "ResultTable":
+        """Evaluate the grouped query in ``sr`` → :class:`ResultTable`."""
+        if self._params is None:
+            raise ValueError("call group_by(...) before run(); ungrouped "
+                             "selects are PreparedQuery.value(sr)")
+        if self._prepared is None or self._prepared._closed:
+            self._prepared = self._db.prepare(
+                self._expr, params=self._params, dynamic=self._dynamic,
+                **self._overrides)
+        return self._prepared.group_by(self._keys, sr, having=self._having,
+                                       rollup=self._rollup, **overrides)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Select group_by={self._params} "
+                f"having={self._having is not None} rollup={self._rollup}>")

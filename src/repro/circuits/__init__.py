@@ -1,7 +1,8 @@
 """Circuits with permanent gates (system S6)."""
 
-from .backends import (VALID_BACKENDS, VALID_EXACT_MODES, validate_backend,
-                       validate_exact_mode)
+from .backends import (DEFAULT_MAX_GROUPS, VALID_BACKENDS, VALID_EXACT_MODES,
+                       validate_backend, validate_exact_mode,
+                       validate_group_options)
 from .evaluation import (BatchedEvaluator, DynamicEvaluator, StaticEvaluator,
                          Valuation, valuation_from_dict)
 from .gates import (AddGate, Circuit, CircuitBuilder, ConstGate, GateId,
@@ -10,7 +11,8 @@ from .optimize import (DEFAULT_PIPELINE, PASSES, CommonSubexpressionPass,
                        ConstantFoldPass, FlattenPass, OptimizeResult,
                        RewritePass, optimize_circuit)
 from .render import describe_optimization, render_dot, render_text, summarize
-from .schedule import GateGroup, Layer, LayerSchedule, build_schedule
+from .schedule import (GateGroup, Layer, LayerSchedule, build_schedule,
+                       co_occurring_inputs, input_cone_masks)
 from .serialize import (PLAN_FORMAT_VERSION, PlanNotSerializable,
                         PlanStaleError, PlanStateError, circuit_from_state,
                         circuit_to_state, decode_atom, dump_plan_bytes,
@@ -25,6 +27,7 @@ __all__ = [
     "StaticEvaluator", "BatchedEvaluator", "DynamicEvaluator",
     "valuation_from_dict", "Valuation",
     "LayerSchedule", "Layer", "GateGroup", "build_schedule",
+    "input_cone_masks", "co_occurring_inputs",
     "PLAN_FORMAT_VERSION", "PlanStateError", "PlanStaleError",
     "PlanNotSerializable", "circuit_to_state", "circuit_from_state",
     "schedule_to_state", "schedule_from_state", "encode_atom", "decode_atom",
@@ -32,6 +35,7 @@ __all__ = [
     "VectorizedEvaluator", "ArrayKernel", "kernel_for", "register_kernel",
     "HAVE_NUMPY", "validate_backend", "VALID_BACKENDS",
     "validate_exact_mode", "VALID_EXACT_MODES",
+    "validate_group_options", "DEFAULT_MAX_GROUPS",
     "optimize_circuit", "OptimizeResult", "RewritePass",
     "ConstantFoldPass", "FlattenPass", "CommonSubexpressionPass",
     "PASSES", "DEFAULT_PIPELINE",

@@ -14,6 +14,10 @@ NumPy backend, so on a NumPy-less install it is rejected here, eagerly,
 with the same :class:`ValueError` shape as an unknown mode: the knob
 can never be accepted at construction only to fail (or silently
 degrade) deep inside an evaluation.
+
+The grouped-aggregation knobs (``group_batch_size``/``max_groups`` on
+:class:`repro.api.ExecOptions` and ``PreparedQuery.group_by``) follow
+the same discipline through :func:`validate_group_options`.
 """
 
 from __future__ import annotations
@@ -65,3 +69,25 @@ def validate_exact_mode(exact_mode: str) -> str:
         raise ValueError("exact_mode 'int64' requires numpy; expected "
                          "'auto' or 'object' on numpy-less installs")
     return exact_mode
+
+
+#: Default ceiling on an enumerated group domain (``group_by`` without
+#: explicit keys takes the cartesian product of the structure's domain
+#: over the query parameters, which grows as ``|A|^k``).
+DEFAULT_MAX_GROUPS = 65536
+
+
+def validate_group_options(group_batch_size, max_groups) -> None:
+    """Validate the grouped-aggregation batching knobs, eagerly.
+
+    ``group_batch_size`` chunks the one-sweep group evaluation into
+    sweeps of at most that many group columns (``None`` = the whole
+    group set in one sweep); ``max_groups`` bounds how many groups an
+    *enumerated* group domain may produce before ``group_by`` refuses
+    and asks for explicit keys.
+    """
+    if group_batch_size is not None and group_batch_size < 1:
+        raise ValueError("group_batch_size must be >= 1 (or None for a "
+                         "single sweep)")
+    if max_groups is not None and max_groups < 1:
+        raise ValueError("max_groups must be >= 1")

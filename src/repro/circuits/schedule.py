@@ -132,6 +132,95 @@ class LayerSchedule:
                 f"gates={self.live_count()}>")
 
 
+def input_cone_masks(schedule: LayerSchedule) -> Dict[GateId, int]:
+    """Per-gate bitmask of the input slots in the gate's input cone.
+
+    Slot ``i`` is position ``i`` of ``schedule.input_gates``; the mask
+    of a gate is the OR of its children's masks (inputs contribute their
+    own slot bit).  Memoized on the schedule — schedules are immutable,
+    so the cones never go stale.  The walk relies on the builder's
+    topological gate-id order (children precede parents), the property
+    every evaluator already assumes.
+    """
+    masks = getattr(schedule, "_input_cones", None)
+    if masks is None:
+        slot_of = {gate_id: slot for slot, (gate_id, _)
+                   in enumerate(schedule.input_gates)}
+        circuit = schedule.circuit
+        masks = {}
+        for gate_id in circuit.live_gates():
+            mask = 0
+            for child in circuit.children_of(circuit.gates[gate_id]):
+                mask |= masks[child]
+            slot = slot_of.get(gate_id)
+            if slot is not None:
+                mask |= 1 << slot
+            masks[gate_id] = mask
+        schedule._input_cones = masks
+    return masks
+
+
+def co_occurring_inputs(schedule: LayerSchedule, key: Hashable) -> frozenset:
+    """The input keys that share a product monomial with input ``key``.
+
+    Two inputs co-occur when some multiplication combines them: a MUL
+    (or permanent) gate with ``key`` in one operand's input cone and the
+    other input in a *different* operand's cone.  Every monomial of the
+    polynomial the circuit computes multiplies its inputs together at
+    such a gate, so this is a sound overapproximation of "appears in a
+    common monomial" — the analysis behind touched-group-only result
+    invalidation (an update to ``key`` can only change point queries
+    whose selector inputs co-occur with it).  An unknown/dead ``key``
+    returns the empty set (the circuit provably never reads it).
+
+    Memoized per key on the schedule: serving workloads retag their
+    caches on every routed update, usually over a small hot set of keys.
+    """
+    memo = getattr(schedule, "_co_occur_memo", None)
+    if memo is None:
+        memo = schedule._co_occur_memo = {}
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    slot_of = {k: slot for slot, (_, k) in enumerate(schedule.input_gates)}
+    slot = slot_of.get(key)
+    if slot is None:
+        memo[key] = frozenset()
+        return memo[key]
+    masks = input_cone_masks(schedule)
+    circuit = schedule.circuit
+    bit = 1 << slot
+    met = 0
+    for layer in schedule.layers:
+        for group in layer.groups:
+            if group.kind not in (KIND_MUL, KIND_PERM):
+                continue
+            for gate_id in group.gate_ids:
+                children = circuit.children_of(circuit.gates[gate_id])
+                child_masks = [masks[child] for child in children]
+                if not any(mask & bit for mask in child_masks):
+                    continue
+                for index, mask in enumerate(child_masks):
+                    if mask & bit:
+                        # Operands other than the one holding ``key``
+                        # multiply against it in some monomial.  (A
+                        # permanent gate's sum-of-products pairs every
+                        # operand with operands of the other rows, which
+                        # the all-pairs treatment overapproximates.)
+                        for j, other in enumerate(child_masks):
+                            if j != index:
+                                met |= other
+    keys = []
+    inputs = schedule.input_gates
+    while met:
+        low = (met & -met).bit_length() - 1
+        keys.append(inputs[low][1])
+        met &= met - 1
+    result = frozenset(keys) - {key}
+    memo[key] = result
+    return result
+
+
 def _kind_key(gate: Any) -> Tuple[str, Optional[int]]:
     if isinstance(gate, InputGate):
         return KIND_INPUT, None

@@ -513,7 +513,68 @@ class VectorizedEvaluator:
         self._run()
         return self
 
+    @classmethod
+    def from_uniform_overrides(cls, circuit: Circuit, sr: Semiring,
+                               base: "Mapping[Any, Any] | PreparedBase",
+                               key_columns: Sequence[Sequence[Any]],
+                               value: Any,
+                               schedule: Optional[LayerSchedule] = None,
+                               kernel: Optional[ArrayKernel] = None
+                               ) -> "VectorizedEvaluator":
+        """Batch column ``i`` = ``base`` with every key of
+        ``key_columns[i]`` overridden to the *same* carrier ``value``.
+
+        This is the grouped-aggregation sweep (each group raises its
+        selector weights to ``sr.one``): because all overrides share one
+        value, the whole batch's edits collapse into a single fancy-index
+        scatter ``matrix[slots, columns] = cast(value)`` instead of the
+        per-column dict fills of :meth:`from_overrides`.  Unknown keys
+        are ignored, matching the override mapping semantics.
+        """
+        self = cls.__new__(cls)
+        self._prepare(circuit, sr, len(key_columns), schedule, kernel)
+        if not isinstance(base, PreparedBase):
+            base = cls.prepare_base(self.circuit, sr, base,
+                                    schedule=self.schedule,
+                                    kernel=self.kernel)
+        column = base.column
+        if base.kernel_name != self.kernel.name and self.kernel.checked:
+            column = self._fall_back_input(column)
+        slot_of = base.slot_of
+        rows: List[int] = []
+        cols: List[int] = []
+        for index, keys in enumerate(key_columns):
+            for key in keys:
+                slot = slot_of.get(key)
+                if slot is not None:
+                    rows.append(slot)
+                    cols.append(index)
+        try:
+            matrix = self._scatter_uniform(column, rows, cols, value)
+        except (OverflowError, GuardTrip):
+            # ``value`` does not fit the native dtype: demote the base
+            # column and re-scatter on the exact kernel.
+            matrix = self._scatter_uniform(self._fall_back_input(column),
+                                           rows, cols, value)
+        self._values[base.gate_ids] = matrix
+        self._run()
+        return self
+
     # -- internals -------------------------------------------------------------
+
+    def _scatter_uniform(self, column: Any, rows: Sequence[int],
+                         cols: Sequence[int], value: Any) -> Any:
+        """Broadcast ``column`` across the batch, then write ``value``
+        at every ``(rows[i], cols[i])`` in one vectorized scatter."""
+        cast_in = self.kernel.cast_in
+        matrix = _np.empty((column.shape[0], self.batch_size),
+                           dtype=self.kernel.dtype)
+        matrix[:, :] = column
+        if rows:
+            native = value if cast_in is None else cast_in(value)
+            matrix[_np.asarray(rows, dtype=_np.intp),
+                   _np.asarray(cols, dtype=_np.intp)] = native
+        return matrix
 
     def _prepare(self, circuit: Circuit, sr: Semiring, batch_size: int,
                  schedule: Optional[LayerSchedule],

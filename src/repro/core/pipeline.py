@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
@@ -125,6 +126,13 @@ class CompiledQuery:
                                           compare=False)
     _kernel_stats_lock: Any = field(default_factory=threading.Lock,
                                     repr=False, compare=False)
+    #: per-stage compile durations in seconds (normalize, coloring,
+    #: forests, forest_compiler, optimize, schedule), recorded by
+    #: ``_compile_structure_query`` and surfaced via stats(); empty for
+    #: plans loaded from a store (the work was not done here) and shared
+    #: across rebinds (the compilation *was* this one).
+    _stage_seconds: Dict[str, float] = field(default_factory=dict,
+                                             repr=False, compare=False)
 
     def schedule(self) -> LayerSchedule:
         """The circuit's layer schedule, computed once and cached."""
@@ -180,6 +188,14 @@ class CompiledQuery:
             stats["fallbacks"] = (stats.get("fallbacks", 0)
                                   + evaluator.fallbacks)
             stats["batches"] = stats.get("batches", 0) + 1
+
+    def kernel_used(self) -> Optional[str]:
+        """The exact kernel the last vectorized batch ran (``"int64"``,
+        ``"object"``, ...), or ``None`` before any batch.  Cheap — reads
+        the telemetry dict without the full circuit walk of :meth:`stats`
+        (grouped sweeps read this per call)."""
+        with self._kernel_stats_lock:
+            return self._kernel_stats.get("used")
 
     def input_valuation(self, sr: Semiring) -> Dict[Hashable, Any]:
         """Carrier values for every recorded input gate."""
@@ -316,7 +332,7 @@ class CompiledQuery:
             self.circuit, structure, self.blocks, dict(self.coloring),
             [(colors, forest.copy()) for colors, forest in self.forests],
             structure.gaifman(), dict(self.recorded), self.dynamic_relations,
-            _schedule=self._schedule)
+            _schedule=self._schedule, _stage_seconds=self._stage_seconds)
 
     # -- serialization -----------------------------------------------------------
 
@@ -393,6 +409,8 @@ class CompiledQuery:
         with self._kernel_stats_lock:
             if self._kernel_stats:
                 info["exact_kernel"] = dict(self._kernel_stats)
+        if self._stage_seconds:
+            info["compile_stages"] = dict(self._stage_seconds)
         return info
 
     # -- update routing ---------------------------------------------------------
@@ -601,9 +619,21 @@ def _compile_structure_query(structure: Structure, expr: WExpr,
             plan_store.save(key, compiled)
         return compiled
 
+    stage_seconds: Dict[str, float] = {}
+    stamp = time.perf_counter()
+
+    def _stage(name: str) -> None:
+        # Accumulating (not assigning) lets the forest/compile stages
+        # interleave per color subset and still report clean totals.
+        nonlocal stamp
+        now = time.perf_counter()
+        stage_seconds[name] = stage_seconds.get(name, 0.0) + (now - stamp)
+        stamp = now
+
     blocks = normalize(expr)
     width = max((len(b.vars) for b in blocks), default=0)
     dynamic = frozenset(dynamic_relations)
+    _stage("normalize")
 
     builder = CircuitBuilder()
     recorded: Dict[Hashable, Tuple[str, object]] = {}
@@ -615,6 +645,7 @@ def _compile_structure_query(structure: Structure, expr: WExpr,
         compiler = ForestCompiler(LabeledForest({}), builder,
                                   recorded=recorded)
         tops.append(compiler.compile_blocks(constant_blocks))
+        _stage("forest_compiler")
 
     color_of: Dict[Hashable, int] = {}
     forests: List[Tuple[frozenset, LabeledForest]] = []
@@ -624,6 +655,7 @@ def _compile_structure_query(structure: Structure, expr: WExpr,
                                               max(width, 1))
         color_of = dict(coloring)
         palette = sorted(set(color_of.values()))
+        _stage("coloring")
         for size in range(1, width + 1):
             for subset in itertools.combinations(palette, size):
                 refined: List[Block] = []
@@ -636,28 +668,36 @@ def _compile_structure_query(structure: Structure, expr: WExpr,
                         if color_of[v] in set(subset)]
                 if not part:
                     continue
+                stamp = time.perf_counter()
                 forest = forest_from_structure(structure, part)
                 for color in subset:
                     forest.labels[("color", color)] = {
                         v for v in part if color_of[v] == color}
                 forests.append((frozenset(subset), forest))
+                _stage("forests")
                 compiler = ForestCompiler(forest, builder,
                                           dynamic_relations=dynamic,
                                           recorded=recorded)
                 tops.append(compiler.compile_blocks(refined))
+                _stage("forest_compiler")
 
+    stamp = time.perf_counter()
     circuit = builder.build(builder.add(tops))
     if optimize:
         circuit = optimize_circuit(circuit).circuit
+        _stage("optimize")
     compiled = CompiledQuery(circuit, structure, blocks, color_of, forests,
-                             structure.gaifman(), recorded, dynamic)
+                             structure.gaifman(), recorded, dynamic,
+                             _stage_seconds=stage_seconds)
     if HAVE_NUMPY:
         # Precompute the layered evaluation plan now: the circuit is
         # immutable from here on, so the schedule is paid once per compile
         # and every vectorized batched evaluation reuses it.  Numpy-less
         # installs have no consumer (the python backend walks the circuit
         # directly), so they keep the lazy schedule() accessor only.
+        stamp = time.perf_counter()
         compiled.schedule()
+        _stage("schedule")
     # Post-compile trust seam (opt-in): catch a compiler/optimizer bug
     # at the source instead of deep inside an evaluation.  Imported
     # lazily — repro.core must not pay for repro.analysis on every use.

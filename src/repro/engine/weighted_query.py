@@ -25,7 +25,8 @@ import itertools
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
 
 from .._compat import warn_deprecated
-from ..circuits import validate_backend, validate_exact_mode
+from ..circuits import (VectorizedEvaluator, co_occurring_inputs, kernel_for,
+                        validate_backend, validate_exact_mode)
 from ..core import CompiledQuery, DynamicQuery, _compile_structure_query
 from ..logic.weighted import Sum, WExpr, WMul, Weight
 from ..semirings import Semiring
@@ -247,8 +248,18 @@ class WeightedQueryEngine:
         validate_exact_mode(exact_mode)
         self._check_open()
         one = self.sr.one
+        valuations = [{key: one for key in keys}
+                      for keys in self._selector_columns(argument_tuples)]
+        return self.compiled.evaluate_batch(self.sr, valuations,
+                                            backend=backend, workers=workers,
+                                            executor=executor,
+                                            exact_mode=exact_mode)
+
+    def _selector_columns(self, argument_tuples: Sequence[Sequence[Hashable]]
+                          ) -> list:
+        """One selector-key tuple per argument tuple, domain-validated."""
         domain = set(self.structure.domain)
-        valuations = []
+        columns = []
         for arguments in argument_tuples:
             arguments = tuple(arguments)
             if len(arguments) != len(self.free):
@@ -261,13 +272,77 @@ class WeightedQueryEngine:
                     # not a silent zero.
                     raise KeyError(f"{element!r} is not in the structure's "
                                    f"domain")
-            valuations.append({("w", name, (element,)): one
-                               for name, element in zip(self.selectors,
-                                                        arguments)})
-        return self.compiled.evaluate_batch(self.sr, valuations,
-                                            backend=backend, workers=workers,
-                                            executor=executor,
-                                            exact_mode=exact_mode)
+            columns.append(tuple(("w", name, (element,))
+                                 for name, element in zip(self.selectors,
+                                                          arguments)))
+        return columns
+
+    def query_groups(self, argument_tuples: Sequence[Sequence[Hashable]],
+                     backend: str = "auto",
+                     workers: Optional[int] = None,
+                     executor: Optional[Any] = None,
+                     exact_mode: str = "auto") -> list:
+        """:meth:`query_batch` specialized to the grouped-aggregation
+        sweep: every batch column raises its selectors to the *same*
+        value (``sr.one``), so on the vectorized backend the whole
+        batch's selector edits collapse into one fancy-index scatter
+        (:meth:`~repro.circuits.VectorizedEvaluator.from_uniform_overrides`)
+        over the memoized base column.  Semantics are identical to
+        ``query_batch``; the python backend and worker-sharded sweeps
+        fall through to it unchanged.
+        """
+        validate_backend(backend)
+        validate_exact_mode(exact_mode)
+        self._check_open()
+        kernel = None
+        if backend != "python":
+            kernel = kernel_for(self.sr, exact_mode)
+            if kernel is None and backend == "numpy":
+                raise RuntimeError(
+                    f"backend='numpy' unavailable: numpy is not installed "
+                    f"or semiring {self.sr.name} has no array kernel")
+        if kernel is None or (workers is not None and workers > 1):
+            return self.query_batch(argument_tuples, backend=backend,
+                                    workers=workers, executor=executor,
+                                    exact_mode=exact_mode)
+        columns = self._selector_columns(argument_tuples)
+        compiled = self.compiled
+        evaluator = VectorizedEvaluator.from_uniform_overrides(
+            compiled.circuit, self.sr,
+            compiled._cached_override_base(self.sr, kernel),
+            columns, self.sr.one,
+            schedule=compiled.schedule(), kernel=kernel)
+        compiled._note_kernel(evaluator)
+        return evaluator.results()
+
+    def affected_arguments(self, update_keys: Sequence[Hashable]
+                           ) -> Optional[Tuple]:
+        """Which point queries an update of ``update_keys`` may change.
+
+        Returns one set of domain elements per free-variable position:
+        ``f(a)`` can only change if ``a[i]`` is in set ``i`` for *every*
+        position (each monomial of the Theorem 8 closed form contains
+        exactly one selector per position, so the update must co-occur
+        with all of ``a``'s selectors to reach ``f(a)``); see
+        :func:`repro.circuits.co_occurring_inputs` for the circuit-level
+        analysis.  Returns ``None`` for closed queries (no per-argument
+        granularity exists).  This is the seam behind touched-group-only
+        cache invalidation: after a routed update, cached results whose
+        arguments fail the test are provably still correct.
+        """
+        if not self.free:
+            return None
+        schedule = self.compiled.schedule()
+        met = set()
+        for key in update_keys:
+            met |= co_occurring_inputs(schedule, key)
+        affected = []
+        for name in self.selectors:
+            affected.append(frozenset(
+                key[2][0] for key in met
+                if isinstance(key, tuple) and len(key) == 3
+                and key[0] == "w" and key[1] == name))
+        return tuple(affected)
 
     # -- updates ----------------------------------------------------------------
 

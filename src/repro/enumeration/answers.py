@@ -63,9 +63,11 @@ class ProvenanceEnumerator:
     """
 
     def __init__(self, structure: Structure, expr: WExpr,
-                 dynamic_relations: Sequence[str] = ()):
+                 dynamic_relations: Sequence[str] = (),
+                 optimize: bool = True, verify: Optional[bool] = None):
         self.compiled = _compile_structure_query(
-            structure, expr, dynamic_relations=dynamic_relations)
+            structure, expr, dynamic_relations=dynamic_relations,
+            optimize=optimize, verify=verify)
         self.context = EnumerationContext(self.compiled.circuit,
                                           _base_valuation(self.compiled))
 
@@ -119,7 +121,8 @@ class AnswerEnumerator:
 
     def __init__(self, structure: Structure, formula: Formula,
                  free_order: Optional[Sequence[str]] = None,
-                 dynamic_relations: Sequence[str] = ()):
+                 dynamic_relations: Sequence[str] = (),
+                 optimize: bool = True, verify: Optional[bool] = None):
         if not is_quantifier_free(formula):
             raise ValueError("Theorem 24 applies after quantifier "
                              "elimination; see repro.qe")
@@ -141,7 +144,8 @@ class AnswerEnumerator:
             + tuple(Weight(name, (var,))
                     for name, var in zip(weight_names, self.vars))))
         self.compiled = _compile_structure_query(
-            structure, expr, dynamic_relations=dynamic_relations)
+            structure, expr, dynamic_relations=dynamic_relations,
+            optimize=optimize, verify=verify)
         base = {}
         for key, (kind, raw) in self.compiled.recorded.items():
             if kind == "b":

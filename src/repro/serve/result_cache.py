@@ -70,6 +70,27 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    def keys(self) -> list:
+        """A snapshot of the cached keys (any epoch, LRU order)."""
+        with self._lock:
+            return list(self._entries)
+
+    def retag(self, key: Hashable, from_epoch: int, to_epoch: int) -> bool:
+        """Carry one entry across an epoch bump: if ``key`` is cached
+        under exactly ``from_epoch``, tag it ``to_epoch`` and return
+        True.  The conditional matters — an entry from an even older
+        epoch may have been invalidated by an *earlier* update and must
+        not be resurrected.  This is the fine-grained invalidation hook:
+        after an effective update advances the epoch, the updater retags
+        the entries its change provably cannot affect, so only touched
+        results go stale."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] != from_epoch:
+                return False
+            self._entries[key] = (to_epoch, entry[1])
+            return True
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -103,6 +124,13 @@ class ResultCache:
             for key in doomed:
                 del self._entries[key]
             return len(doomed)
+
+    def scope_keys(self, namespace: Hashable) -> list:
+        """The inner keys cached under one scope (any epoch)."""
+        with self._lock:
+            return [key[1] for key in self._entries
+                    if isinstance(key, tuple) and len(key) == 2
+                    and key[0] == namespace]
 
 
 class ScopedResultCache:
@@ -138,6 +166,14 @@ class ScopedResultCache:
 
     def clear(self) -> None:
         self.parent.clear_scope(self.namespace)
+
+    def keys(self) -> list:
+        """This scope's cached inner keys (any epoch)."""
+        return self.parent.scope_keys(self.namespace)
+
+    def retag(self, key: Hashable, from_epoch: int, to_epoch: int) -> bool:
+        """Conditional epoch carry-over (see :meth:`ResultCache.retag`)."""
+        return self.parent.retag((self.namespace, key), from_epoch, to_epoch)
 
     def stats(self) -> Dict[str, int]:
         parent = self.parent.stats()

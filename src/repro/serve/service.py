@@ -34,13 +34,16 @@ strips all selector weights from the host structure.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import Future
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, \
+    Sequence, Tuple
 
 from .._compat import warn_deprecated
-from ..circuits import validate_backend, validate_exact_mode
+from ..circuits import DEFAULT_MAX_GROUPS, validate_backend, \
+    validate_exact_mode
 from ..engine import WeightedQueryEngine
 from ..logic.weighted import WExpr
 from ..semirings import Semiring
@@ -137,6 +140,7 @@ class QueryService:
             raise
         self.free: Tuple[str, ...] = self.engines[0].free
         self._domain = frozenset(structure.domain)
+        self._domain_order = tuple(structure.domain)
         self._epoch = 0
         self._closed = False
         # Request intake is a plain list guarded by one condition: a
@@ -151,6 +155,9 @@ class QueryService:
         self._batched_queries = 0
         self._deduped_queries = 0
         self._largest_batch = 0
+        self._group_tables = 0
+        self._group_rows = 0
+        self._retagged = 0
         self._dispatchers = [
             threading.Thread(target=self._dispatch_loop, args=(engine,),
                              name=f"QueryService-dispatch-{index}",
@@ -207,6 +214,75 @@ class QueryService:
         """A caller-assembled batch: submit all, wait for all, in order."""
         futures = [self.submit(*arguments) for arguments in argument_tuples]
         return [future.result(timeout) for future in futures]
+
+    def group_by(self, keys: Optional[Sequence[Any]] = None, *,
+                 having: Optional[Callable[[Any], bool]] = None,
+                 rollup: bool = False,
+                 max_groups: Optional[int] = None,
+                 timeout: Optional[float] = None) -> Any:
+        """All group aggregates of the served query, through the
+        micro-batching pipeline, as a :class:`~repro.api.ResultTable`.
+
+        The free variables are the grouping keys; ``keys=None``
+        enumerates the domain's cartesian product over them (refused
+        beyond ``max_groups``), otherwise ``keys`` lists explicit key
+        valuations.  Every group is one submit — so they coalesce into
+        the service's batched sweeps, and each group lands as its own
+        entry in the epoch-tagged result cache (warm groups skip the
+        queue entirely; an update invalidates only the touched groups,
+        see :meth:`update_weight`).  ``having``/``rollup`` behave as in
+        :meth:`repro.api.PreparedQuery.group_by`.
+        """
+        # Lazy import: repro.api pulls in repro.serve at import time —
+        # the table module itself is dependency-free, but its package
+        # is not.
+        from ..api.table import ResultTable, apply_having, attach_rollup
+        self._check_open()
+        if not self.free:
+            raise ValueError("group_by() needs a parameterized query "
+                             "(the free variables are the grouping keys)")
+        bound = DEFAULT_MAX_GROUPS if max_groups is None else max_groups
+        if keys is None:
+            count = len(self._domain_order) ** len(self.free)
+            if count > bound:
+                raise ValueError(
+                    f"group_by() would enumerate {count} groups "
+                    f"(|domain|^{len(self.free)}) > max_groups={bound}; "
+                    f"pass explicit keys or raise max_groups")
+            group_keys = [tuple(combo) for combo in itertools.product(
+                self._domain_order, repeat=len(self.free))]
+        else:
+            normalized: List[Tuple] = []
+            for item in keys:
+                if isinstance(item, list):
+                    item = tuple(item)
+                # A tuple of the key arity is a full key; anything else
+                # is a bare element of a 1-ary key (tuple-valued domain
+                # elements work unwrapped).  submit() validates domain
+                # membership per element.
+                if isinstance(item, tuple) and len(item) == len(self.free):
+                    tup = item
+                elif len(self.free) == 1:
+                    tup = (item,)
+                else:
+                    raise TypeError(
+                        f"group keys must be {len(self.free)}-tuples "
+                        f"aligned with free variables {self.free}; "
+                        f"got {item!r}")
+                normalized.append(tup)
+            group_keys = list(dict.fromkeys(normalized))
+        futures = [self.submit(*key) for key in group_keys]
+        values = [future.result(timeout) for future in futures]
+        with self._stats_lock:
+            self._group_tables += 1
+            self._group_rows += len(group_keys)
+        out_keys, out_values = apply_having(group_keys, values, having)
+        if rollup:
+            all_keys, all_values = attach_rollup(group_keys, values, self.sr)
+            out_keys = out_keys + all_keys[len(group_keys):]
+            out_values = out_values + all_values[len(group_keys):]
+        return ResultTable(self.free + ("value",), out_keys, out_values,
+                           {"groups": len(group_keys)})
 
     # -- micro-batch dispatch ----------------------------------------------------
 
@@ -285,13 +361,16 @@ class QueryService:
         lazily invalidating all cached results; a no-op write keeps the
         result cache warm."""
         self._check_open()
+        tup = tuple(tup)
         with self._update_lock:
+            prev_epoch = self._epoch
             touched = 0
             for engine in self.engines:
                 touched = max(touched,
                               engine.update_weight(name, tup, value))
             if touched:
                 self._epoch += 1
+                self._retag_unaffected((("w", name, tup),), prev_epoch)
             return touched
 
     def set_relation(self, name: str, tup: Tuple, present: bool) -> int:
@@ -299,14 +378,46 @@ class QueryService:
         Theorem 24 update model); epoch semantics as in
         :meth:`update_weight`."""
         self._check_open()
+        tup = tuple(tup)
         with self._update_lock:
+            prev_epoch = self._epoch
             touched = 0
             for engine in self.engines:
                 touched = max(touched,
                               engine.set_relation(name, tup, present))
             if touched:
                 self._epoch += 1
+                self._retag_unaffected(
+                    (("dynrel", name, tup, True),
+                     ("dynrel", name, tup, False)), prev_epoch)
             return touched
+
+    def _retag_unaffected(self, update_keys: Tuple, from_epoch: int) -> None:
+        """Fine-grained invalidation (``_update_lock`` held): the epoch
+        bump staled every cached result; carry forward the argument
+        tuples the write provably cannot reach (the circuit-level
+        co-occurrence analysis of :meth:`~repro.engine.
+        WeightedQueryEngine.affected_arguments`).  Any analysis failure
+        leaves entries stale — always safe, never wrong."""
+        if self.result_cache is None:
+            return
+        try:
+            affected = self.engines[0].affected_arguments(update_keys)
+            if affected is None:
+                return
+            to_epoch = self._epoch
+            carried = 0
+            for args in self.result_cache.keys():
+                if not isinstance(args, tuple) or len(args) != len(affected):
+                    continue
+                if not all(args[i] in affected[i]
+                           for i in range(len(args))):
+                    if self.result_cache.retag(args, from_epoch, to_epoch):
+                        carried += 1
+            with self._stats_lock:
+                self._retagged += carried
+        except Exception:  # noqa: BLE001 - stale-but-correct beats wrong
+            return
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -365,6 +476,9 @@ class QueryService:
                 "largest_batch": self._largest_batch,
                 "mean_batch": (round(self._batched_queries / batches, 2)
                                if batches else 0.0),
+                "group_tables": self._group_tables,
+                "group_rows": self._group_rows,
+                "retagged": self._retagged,
             }
         # Served queries: every batched request plus every submit-time
         # result-cache hit (the cache counts those under its own lock).
