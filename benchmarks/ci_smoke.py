@@ -39,9 +39,13 @@ point are exempt.
 Plan store: bench subprocesses run with ``REPRO_PLAN_STORE`` pointing
 at a shared store directory (default ``.plan-store/``, cached across
 CI runs), an in-process probe records cold-compile vs warm-load
-seconds plus the store's hit/miss counters into the report, and any
-``PLAN-STORE-REPORT {json}`` lines the benches print are lifted into
-the artifact.
+seconds plus the store's hit/miss counters into the report (the
+probe's own store lives in a ``tempfile`` context that is always
+cleaned up), and any ``PLAN-STORE-REPORT {json}`` lines the benches
+print are lifted into the artifact.  The multi-process serving leg is
+recorded the same way: ``CLUSTER-REPORT {json}`` lines from the
+sharded-gateway axis of ``bench_serve.py`` land under each bench's
+``cluster`` key.
 
 Usage::
 
@@ -65,6 +69,7 @@ import platform
 import re
 import subprocess
 import sys
+import tempfile
 import time
 
 HERE = os.path.dirname(os.path.abspath(__file__))
@@ -131,7 +136,7 @@ def run_bench(path: str, env: dict) -> dict:
     # ``KERNEL-REPORT {json}`` line per axis (chosen kernel, fallback
     # count, speedup); lift them into the artifact so the kernel
     # trajectory is comparable across runs without re-running anything.
-    kernels, plan_store = [], []
+    kernels, plan_store, cluster = [], [], []
     for line in proc.stdout.splitlines():
         # pytest progress dots may prefix the line; search, don't anchor.
         match = re.search(r"KERNEL-REPORT (\{.*\})\s*$", line)
@@ -146,10 +151,21 @@ def run_bench(path: str, env: dict) -> dict:
                 plan_store.append(json.loads(match.group(1)))
             except json.JSONDecodeError:
                 pass
+        # The multi-process leg: bench_serve's sharded-gateway axis
+        # prints one ``CLUSTER-REPORT {json}`` line (shard count,
+        # gateway vs single-process qps, merge/respawn/shed counters).
+        match = re.search(r"CLUSTER-REPORT (\{.*\})\s*$", line)
+        if match:
+            try:
+                cluster.append(json.loads(match.group(1)))
+            except json.JSONDecodeError:
+                pass
     if kernels:
         result["kernels"] = kernels
     if plan_store:
         result["plan_store"] = plan_store
+    if cluster:
+        result["cluster"] = cluster
     return result
 
 
@@ -274,13 +290,16 @@ def merge_baseline(existing: dict, backend: str, report: dict) -> dict:
 
 
 def plan_store_probe(store_path: str):
-    """Cold-compile vs warm-load seconds through the shared plan store.
+    """Cold-compile vs warm-load seconds through the plan store.
 
-    Compiles a small fixed workload against ``store_path`` (a miss
-    populates the store; a hit means the CI cache restored it from a
-    previous run), then loads it back through a *fresh* store handle —
-    the cross-process cold-start path.  Returns the probe record for
-    the report, or an error record when the library is not importable
+    Compiles a small fixed workload, then measures the cross-process
+    cold-start path — save, then load through a *fresh* store handle —
+    inside a ``tempfile`` context, so the probe's own store directory
+    is always cleaned up, even when the probe raises midway.  The
+    shared ``store_path`` is only touched to record whether CI's
+    cross-run cache restored the plan (``warmed_from_cache``) and to
+    publish it for the next run.  Returns the probe record for the
+    report, or an error record when the library is not importable
     (the probe must never fail the smoke run)."""
     sys.path.insert(0, os.path.join(REPO, "src"))
     sys.path.insert(0, HERE)
@@ -293,22 +312,25 @@ def plan_store_probe(store_path: str):
         key = plan_cache_key(structure, TRIANGLE, frozenset(), True)
         # Always measure a true compile — the store could satisfy it.
         compiled, cold = timed(_compile_structure_query, structure, TRIANGLE)
-        first = PlanStore(store_path)
-        warmed = first.load(key, structure, TRIANGLE) is not None
+        shared = PlanStore(store_path)
+        warmed = shared.load(key, structure, TRIANGLE) is not None
         if not warmed:
+            shared.save(key, compiled)
+        with tempfile.TemporaryDirectory(prefix="repro-plan-probe-") as tmp:
+            first = PlanStore(tmp)
             first.save(key, compiled)
-        second = PlanStore(store_path)  # fresh handle: no in-memory state
-        loaded, warm = timed(second.load, key, structure, TRIANGLE)
-        record = {
-            "path": os.path.relpath(store_path, REPO),
-            "warmed_from_cache": warmed,
-            "cold_compile_seconds": round(cold, 6),
-            "warm_load_seconds": round(warm, 6),
-            "loaded": loaded is not None,
-            "hits": first.stats()["hits"] + second.stats()["hits"],
-            "misses": first.stats()["misses"] + second.stats()["misses"],
-            "entries": second.stats()["entries"],
-        }
+            second = PlanStore(tmp)  # fresh handle: no in-memory state
+            loaded, warm = timed(second.load, key, structure, TRIANGLE)
+            record = {
+                "path": os.path.relpath(store_path, REPO),
+                "warmed_from_cache": warmed,
+                "cold_compile_seconds": round(cold, 6),
+                "warm_load_seconds": round(warm, 6),
+                "loaded": loaded is not None,
+                "hits": second.stats()["hits"],
+                "misses": first.stats()["misses"] + second.stats()["misses"],
+                "entries": shared.stats()["entries"],
+            }
         if loaded is not None and warm:
             record["speedup"] = round(cold / warm, 2)
         return record

@@ -20,10 +20,13 @@ Quickstart (the unified ``repro.api`` facade)::
         print(db.prepare(tri).value(NATURAL))
 """
 
-from . import (algebra, api, baselines, circuits, core, engine, enumeration,
-               fog, graphs, logic, qe, semirings, serve, structures)
+from . import (algebra, api, baselines, circuits, cluster, core, engine,
+               enumeration, fog, graphs, logic, qe, semirings, serve,
+               structures)
 from .api import (TOTAL, BoundQuery, Database, ExecOptions, MaintainedQuery,
                   PreparedQuery, ResultTable, Select, UpdateContext)
+from .cluster import (ClusterService, Overloaded, ShardingError,
+                      WorkerCrashed, shard_structure)
 from .circuits import (HAVE_NUMPY, BatchedEvaluator, LayerSchedule,
                        OptimizeResult, StaticEvaluator, VectorizedEvaluator,
                        build_schedule, optimize_circuit)
@@ -50,6 +53,8 @@ __all__ = [
     "compile_structure_query", "CompiledQuery", "DynamicQuery",
     "plan_cache_key",
     "QueryService", "PlanCache", "PlanStore", "ResultCache",
+    "ClusterService", "Overloaded", "ShardingError", "WorkerCrashed",
+    "shard_structure",
     "optimize_circuit", "OptimizeResult", "BatchedEvaluator",
     "StaticEvaluator", "VectorizedEvaluator", "LayerSchedule",
     "build_schedule", "HAVE_NUMPY",

@@ -42,6 +42,16 @@ The rules:
     Stable facilities (``hashlib``, ``os.getpid``,
     ``threading.get_ident`` for temp-file uniqueness) stay allowed.
 
+``REP006`` **no blocking calls in cluster async paths** — inside an
+    ``async def`` in ``repro.cluster`` modules, no ``time.sleep``, no
+    bare ``.result()`` (a ``concurrent.futures`` wait with no timeout),
+    and no blocking pipe/socket operations (``recv``, ``recv_bytes``,
+    ``send_bytes``, ``sendall``, ``accept``, ``connect``).  The gateway
+    embeds in the *caller's* event loop; one blocking call in a
+    coroutine stalls every request on that loop.  Blocking belongs in
+    the dispatcher threads and the ``*_sync`` facades — coroutines only
+    await loop-agnostic futures.
+
 Each rule has positive and negative fixtures under
 ``tests/lint_fixtures/``; ``tests/test_analysis_lint.py`` asserts the
 shipped source tree is clean and that every rule fires on its negative
@@ -70,6 +80,8 @@ RULES = {
               "(the per-shim dedup seam)",
     "REP005": "serialize/cache-key modules: no pickle-family imports, no "
               "nondeterminism (hash()/time/random/uuid/urandom)",
+    "REP006": "cluster async paths: no time.sleep, bare .result(), or "
+              "blocking pipe/socket ops inside `async def`",
 }
 
 #: pickle-family modules whose import REP005 bans outright.
@@ -88,6 +100,11 @@ _NONDETERMINISTIC_CALLS = frozenset({
 #: module basenames (sans ``.py``) REP005 applies to.
 _SERIALIZE_MODULES = frozenset({"serialize", "plan_store", "plan_cache",
                                 "result_cache"})
+
+#: attribute calls REP006 treats as blocking pipe/socket operations.
+_BLOCKING_IO_ATTRS = frozenset({"recv", "recv_bytes", "recv_into",
+                                "send_bytes", "sendall", "accept",
+                                "connect"})
 
 
 @dataclass(frozen=True)
@@ -145,8 +162,13 @@ class _Linter(ast.NodeVisitor):
         self.in_compat = basename == "_compat"
         #: REP005 applies to serialize/cache-key modules.
         self.in_serialize_module = basename in _SERIALIZE_MODULES
+        #: REP006 applies to the multi-process serving layer.
+        self.in_cluster_module = "cluster" in parts[:-1]
         #: lexical stack of `with`-held lock names (dotted).
         self.lock_stack: List[str] = []
+        #: lexical function-kind stack: True inside `async def` bodies
+        #: (a nested sync `def` pushes False and shadows it).
+        self.async_stack: List[bool] = []
         self.violations: List[LintViolation] = []
 
     def _flag(self, rule: str, node: ast.AST, message: str) -> None:
@@ -191,6 +213,9 @@ class _Linter(ast.NodeVisitor):
         self._check_deprecation_call(node)
         if self.in_serialize_module:
             self._check_nondeterministic_call(node)
+        if self.in_cluster_module and self.async_stack \
+                and self.async_stack[-1]:
+            self._check_blocking_call(node)
         self.generic_visit(node)
 
     # -- REP003: epoch bump on invalidation ----------------------------------------
@@ -203,7 +228,9 @@ class _Linter(ast.NodeVisitor):
                 f"{node.name}() is an invalidation path but never bumps "
                 f"the database epoch (`_epoch += 1`) — epoch-keyed "
                 f"result caches would serve stale answers")
+        self.async_stack.append(isinstance(node, ast.AsyncFunctionDef))
         self.generic_visit(node)
+        self.async_stack.pop()
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
@@ -272,6 +299,33 @@ class _Linter(ast.NodeVisitor):
                 f"{dotted}() in a serialize/cache-key module — stored "
                 f"bytes and cache keys must be reproducible across "
                 f"processes")
+
+    # -- REP006: no blocking calls in cluster async paths ---------------------------
+
+    def _check_blocking_call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted == "time.sleep":
+            self._flag(
+                "REP006", node,
+                "time.sleep() inside a cluster `async def` stalls the "
+                "caller's event loop — await asyncio.sleep, or move the "
+                "wait into a dispatcher thread")
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        if attr == "result" and not node.args and not node.keywords:
+            self._flag(
+                "REP006", node,
+                "bare .result() inside a cluster `async def` blocks the "
+                "event loop with no deadline — await "
+                "asyncio.wrap_future(...) instead")
+        elif attr in _BLOCKING_IO_ATTRS:
+            self._flag(
+                "REP006", node,
+                f".{attr}() inside a cluster `async def` is a blocking "
+                f"pipe/socket operation — only dispatcher threads may "
+                f"touch worker connections")
 
 
 def lint_source(source: str, path: str = "<string>"

@@ -187,6 +187,58 @@ class Database:
             self._services.append(service)
         return service
 
+    def serve_sharded(self, expr: Any, sr: Semiring,
+                      shards: int = 2,
+                      params: Optional[Sequence[str]] = None,
+                      dynamic: Sequence[str] = (),
+                      options: Optional[ExecOptions] = None,
+                      assign: Optional[dict] = None,
+                      **overrides):
+        """Serve ``expr`` across ``shards`` worker *processes* behind an
+        asyncio gateway (:class:`repro.cluster.ClusterService`).
+
+        The structure's domain is partitioned by Gaifman components (per
+        ``options.shard_policy``, or the explicit ``assign`` map); each
+        worker owns one shard, its own Database and — when this database
+        has a plan store — its own handle on the same store, so workers
+        and respawns warm-start from disk.  Point queries route to the
+        owning shard, closed and grouped queries fan out and ``⊕``-merge;
+        ``ExecOptions.max_pending`` / ``max_inflight_per_client`` /
+        ``request_timeout`` are the gateway's admission knobs.  The
+        gateway registers with the database like any service: routed
+        updates reach the owning shard (cross-shard tuples are refused),
+        and :meth:`close` drains and closes it.
+        """
+        self._check_open()
+        self._verify_fresh()
+        # Lazy import: repro.cluster imports repro.api at module level,
+        # so the facade must not import it back at module level.
+        from ..cluster import ClusterService
+        if isinstance(expr, Formula):
+            expr = Bracket(expr)
+        opts = (self.options if options is None else options)
+        opts = opts.merged(**overrides)
+        plan_store_path = (self.plan_store.path
+                           if self.plan_store is not None else None)
+        service = ClusterService(
+            self._snapshot(), expr, sr, shards=shards, params=params,
+            dynamic=tuple(dynamic), policy=opts.shard_policy,
+            assign=assign, backend=opts.backend,
+            exact_mode=opts.exact_mode, optimize=opts.optimize,
+            max_batch_size=opts.max_batch_size,
+            max_pending=opts.max_pending,
+            max_inflight_per_client=opts.max_inflight_per_client,
+            request_timeout=opts.request_timeout,
+            max_groups=opts.max_groups,
+            plan_store_path=plan_store_path, verify=opts.verify)
+        weights, relations = query_footprint(service.expr)
+        service._facade_weight_names = weights
+        service._facade_relation_names = relations
+        with self._lock:
+            self._prune()
+            self._services.append(service)
+        return service
+
     def select(self, expr: Any, dynamic: Sequence[str] = (),
                **overrides) -> Select:
         """SQL-ish grouped-aggregation sugar over :meth:`prepare`::

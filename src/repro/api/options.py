@@ -16,7 +16,8 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Optional
 
 from ..circuits import (DEFAULT_MAX_GROUPS, validate_backend,
-                        validate_exact_mode, validate_group_options)
+                        validate_cluster_options, validate_exact_mode,
+                        validate_group_options)
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,23 @@ class ExecOptions:
         processes load instead of recompiling.  ``None`` (default)
         disables persistence; see ``Database(plan_store_path=...)`` for
         the path-based convenience spelling.
+    ``shard_policy``
+        How :meth:`repro.api.Database.serve_sharded` assigns Gaifman
+        components to worker shards: ``"hash"`` (stable content hash of
+        each component's representative — balanced in expectation,
+        placement survives domain reordering) or ``"contiguous"``
+        (components packed into domain-order runs — locality-preserving
+        for range-shaped workloads).
+    ``max_pending`` / ``max_inflight_per_client``
+        Gateway admission control: the total queued+in-flight request
+        cap (submissions beyond it are shed with
+        :class:`repro.cluster.Overloaded`) and one client's share of it
+        (per-client fairness under overload).
+    ``request_timeout``
+        Default per-request deadline, in seconds, for gateway queries
+        (``None`` waits indefinitely); individual calls may override.
+        All four cluster knobs are validated eagerly through the shared
+        :mod:`repro.circuits.backends` seam.
     ``verify``
         Run the IR verifier (:func:`repro.analysis.verify_plan`) over
         every plan the compile pipeline produces, post-compile.
@@ -90,6 +108,10 @@ class ExecOptions:
     plan_cache_size: int = 32
     result_cache_size: int = 1024
     plan_store: Optional[Any] = None
+    shard_policy: str = "hash"
+    max_pending: int = 1024
+    max_inflight_per_client: int = 256
+    request_timeout: Optional[float] = None
     verify: Optional[bool] = None
 
     def __post_init__(self) -> None:
@@ -104,6 +126,9 @@ class ExecOptions:
         if self.max_batch_delay < 0:
             raise ValueError("max_batch_delay must be >= 0")
         validate_group_options(self.group_batch_size, self.max_groups)
+        validate_cluster_options(self.shard_policy, self.max_pending,
+                                 self.max_inflight_per_client,
+                                 self.request_timeout)
         if self.plan_cache_size < 1:
             raise ValueError("plan_cache_size must be >= 1")
         if self.result_cache_size < 0:

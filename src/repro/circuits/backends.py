@@ -91,3 +91,34 @@ def validate_group_options(group_batch_size, max_groups) -> None:
                          "single sweep)")
     if max_groups is not None and max_groups < 1:
         raise ValueError("max_groups must be >= 1")
+
+
+#: The recognised values of every ``shard_policy=`` parameter: how the
+#: sharder assigns Gaifman components to worker shards.
+VALID_SHARD_POLICIES = ("hash", "contiguous")
+
+
+def validate_cluster_options(shard_policy, max_pending,
+                             max_inflight_per_client,
+                             request_timeout) -> None:
+    """Validate the sharded-serving gateway knobs, eagerly.
+
+    ``shard_policy`` picks the component-to-shard assignment;
+    ``max_pending`` caps the gateway-wide queued+in-flight request
+    count (load shedding beyond it); ``max_inflight_per_client`` caps
+    one client's share of that queue (per-client fairness);
+    ``request_timeout`` is the default per-request deadline in seconds
+    (``None`` = wait indefinitely).  Same eager-refusal discipline as
+    :func:`validate_backend`: a bad knob fails at construction, never
+    inside a dispatcher thread.
+    """
+    if shard_policy not in VALID_SHARD_POLICIES:
+        raise ValueError(f"unknown shard_policy {shard_policy!r}; expected "
+                         f"'hash' or 'contiguous'")
+    if max_pending < 1:
+        raise ValueError("max_pending must be >= 1")
+    if max_inflight_per_client < 1:
+        raise ValueError("max_inflight_per_client must be >= 1")
+    if request_timeout is not None and request_timeout <= 0:
+        raise ValueError("request_timeout must be > 0 seconds (or None "
+                         "to wait indefinitely)")

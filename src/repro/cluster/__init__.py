@@ -1,0 +1,40 @@
+"""repro.cluster: multi-process sharded serving of weighted queries.
+
+The scale-out tier above :mod:`repro.serve`: one structure's domain is
+partitioned by **Gaifman components** into shared-nothing shards
+(:func:`shard_structure`), each served by its own worker *process* with
+its own Database, plan cache and plan store
+(:mod:`repro.cluster.worker`), behind an asyncio-native gateway
+(:class:`ClusterService`) that routes point queries to owning shards,
+fans closed and grouped queries out, and folds the partial aggregates
+with the semiring ``⊕`` — exact by the disjoint-union identity, never
+approximate.  Admission control (:class:`Overloaded`), request
+deadlines with cancellation, and worker respawn with plan-store warm
+restart are part of the serving contract.
+
+Reach it through :meth:`repro.api.Database.serve_sharded`; the pieces
+are exported here for tests and direct embedding.
+"""
+
+from .gateway import ClusterService
+from .protocol import (ClusterCodecError, ClusterError, Overloaded,
+                       ShardingError, WorkerCrashed, check_wire_roundtrip,
+                       decode_value, encode_value)
+from .sharding import (ShardPlan, check_shardable, connected_components,
+                       shard_structure)
+
+__all__ = [
+    "ClusterService",
+    "ClusterCodecError",
+    "ClusterError",
+    "Overloaded",
+    "ShardingError",
+    "WorkerCrashed",
+    "check_wire_roundtrip",
+    "decode_value",
+    "encode_value",
+    "ShardPlan",
+    "check_shardable",
+    "connected_components",
+    "shard_structure",
+]

@@ -1,0 +1,197 @@
+"""The shard worker: one process, one Database, one prepared query.
+
+Workers are **shared-nothing**: each owns its shard structure, its own
+:class:`~repro.api.Database` (plan cache, result cache, epoch machinery)
+and — when the gateway passes a ``plan_store_path`` — its own handle on
+the persistent plan store, which is what makes a *respawned* worker
+warm-start: the replacement process loads its shard's compiled plan
+from disk instead of re-running the Theorem 6 pipeline.
+
+The process entry point is :func:`worker_main`, a module-level function
+so it survives the ``spawn`` start method's pickling of the target (the
+gateway uses ``spawn``, not ``fork``: forking a process that already
+runs gateway dispatcher threads is a deadlock lottery, and respawn
+must work long after the parent became multi-threaded).
+
+The loop is deliberately single-threaded request/response: the gateway
+pipelines at the *batch* level (one micro-batch per round trip), so a
+worker never needs internal concurrency — the paper's economics live in
+the batched sweep, not in worker threads.  Shard state arrives through
+the ``load`` message (not the spawn arguments): the gateway keeps the
+authoritative copy of every shard, so a respawned worker reloads the
+*current* state, routed updates included.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from .protocol import (decode_structure, error_reply, read_frame,
+                       write_frame)
+
+__all__ = ["worker_main"]
+
+
+class _WorkerState:
+    """The live objects of one worker process."""
+
+    def __init__(self, config: Dict[str, Any]):
+        self.config = config
+        self.db: Optional[Any] = None
+        self.prepared: Optional[Any] = None
+        self.loads = 0
+
+    # -- operations ------------------------------------------------------------
+
+    def load(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """(Re)load the shard structure and prepare the served query."""
+        from ..api import Database, ExecOptions
+        structure = decode_structure(message["structure"])
+        if self.db is not None:
+            self.db.close()
+        config = self.config
+        options = ExecOptions(
+            backend=config["backend"], exact_mode=config["exact_mode"],
+            optimize=config["optimize"], verify=config["verify"],
+            max_groups=config["max_groups"])
+        self.db = Database(structure, options,
+                           plan_store_path=config["plan_store_path"])
+        self.prepared = self.db.prepare(
+            config["expr"], params=config["params"] or None,
+            dynamic=tuple(config["dynamic"]))
+        self.loads += 1
+        if message.get("warm") and structure.domain:
+            # Compile now (plan-store load when warm), not on the first
+            # query: a respawned worker rejoins the pool ready to serve.
+            if self.prepared.params:
+                probe = (structure.domain[0],) * len(self.prepared.params)
+                self.prepared.batch([probe], config["sr"])
+            else:
+                self.prepared.value(config["sr"])
+        return {"loads": self.loads, "stats": self._safe_stats()}
+
+    def batch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Point values for a list of argument tuples, one sweep."""
+        sr = self.config["sr"]
+        args = [tuple(item) for item in message["args"]]
+        if self.prepared.params:
+            values = self.prepared.batch(args, sr)
+        else:
+            # A closed query has one value per epoch; every "argument"
+            # (an empty tuple) maps to it.
+            value = self.prepared.value(sr)
+            values = [value for _ in args]
+        return {"values": values}
+
+    def group_by(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """This shard's slice of the full group domain, one sweep.
+
+        Enumerates the cartesian product of the *shard's* domain over
+        the parameters; cross-shard key combinations are the gateway's
+        to fill (they are provably ``sr.zero`` for shardable queries).
+        """
+        params = self.prepared.params
+        domain = self.db.structure.domain
+        count = len(domain) ** len(params)
+        bound = message["max_groups"]
+        if count > bound:
+            raise ValueError(f"shard group domain of {count} groups "
+                             f"exceeds max_groups={bound}")
+        keys = [tuple(combo) for combo in
+                itertools.product(domain, repeat=len(params))]
+        values = self.prepared.batch(keys, self.config["sr"])
+        return {"keys": keys, "values": values}
+
+    def update(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply routed writes through the worker's own update router."""
+        touched = 0
+        with self.db.update() as tx:
+            for write in message["writes"]:
+                kind, name, tup = write[0], write[1], tuple(write[2])
+                if kind == "w":
+                    touched = max(touched,
+                                  tx.set_weight(name, tup, write[3]))
+                elif kind == "r":
+                    touched = max(touched,
+                                  tx.set_relation(name, tup, write[3]))
+                else:
+                    raise ValueError(f"unknown write kind {kind!r}")
+        return {"touched": touched}
+
+    def stats(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"stats": self._safe_stats(), "loads": self.loads}
+
+    def _safe_stats(self) -> Dict[str, Any]:
+        """Database stats restricted to wire-codec-safe entries."""
+        from .protocol import ClusterCodecError, encode_value
+        if self.db is None:
+            return {}
+        out: Dict[str, Any] = {}
+        for key, value in self.db.stats().items():
+            try:
+                encode_value(value)
+            except ClusterCodecError:
+                continue
+            out[key] = value
+        return out
+
+    def close(self) -> None:
+        if self.db is not None:
+            self.db.close()
+            self.db = None
+
+
+#: op name -> handler method name (the closed protocol surface).
+_OPS = {"load": "load", "batch": "batch", "group_by": "group_by",
+        "update": "update", "stats": "stats"}
+
+
+def worker_main(conn: Any, config: Dict[str, Any]) -> None:
+    """The worker process body: framed request/response until shutdown.
+
+    ``config`` rides the spawn arguments (multiprocessing's own
+    transport) and holds the query expression, semiring, parameter
+    order, dynamic relations, execution knobs and the optional plan
+    store path; shard *state* arrives via ``load`` messages so respawns
+    see routed updates.  Every request gets exactly one reply — results
+    on success, a typed :func:`~repro.cluster.protocol.error_reply`
+    otherwise — and a closed pipe (gateway death) ends the process.
+    """
+    state = _WorkerState(config)
+    try:
+        while True:
+            try:
+                message = read_frame(conn)
+            except (EOFError, OSError):
+                break  # gateway gone; nothing to reply to
+            request_id = message.get("id")
+            op = message.get("op")
+            if op == "shutdown":
+                write_frame(conn, {"id": request_id, "ok": True})
+                break
+            try:
+                handler = _OPS[op]
+            except KeyError:
+                write_frame(conn, error_reply(
+                    request_id, ValueError(f"unknown op {op!r}")))
+                continue
+            try:
+                if op != "load" and state.prepared is None:
+                    raise RuntimeError("worker has no structure loaded")
+                reply = getattr(state, handler)(message)
+            except BaseException as error:  # noqa: BLE001 - wire it back
+                try:
+                    write_frame(conn, error_reply(request_id, error))
+                except (OSError, ValueError, TypeError):
+                    break  # cannot even report; let the gateway respawn
+            else:
+                reply["id"] = request_id
+                reply["ok"] = True
+                write_frame(conn, reply)
+    finally:
+        state.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass

@@ -12,6 +12,8 @@ from .numeric import (FloatField, IntegerRing, ModularRing, NaturalSemiring,
                       RationalField)
 from .product import ProductSemiring
 from .provenance import FreeSemiring, Poly
+from .registry import (SEMIRING_REGISTRY, SemiringSpec, ensure_mergeable,
+                       register_semiring, resolve_semiring)
 from .tropical import INF, BoundedMinMax, MaxPlus, MinMax, MinPlus
 
 #: Shared default instances (all semirings here are stateless).
@@ -26,6 +28,8 @@ MIN_MAX = MinMax()
 
 __all__ = [
     "Semiring", "Homomorphism", "check_semiring_axioms",
+    "SemiringSpec", "SEMIRING_REGISTRY", "register_semiring",
+    "resolve_semiring", "ensure_mergeable",
     "BooleanSemiring", "SetAlgebra",
     "TableSemiring", "saturating_counter_semiring",
     "ScalarMultiplier", "LassoArithmetic",

@@ -37,6 +37,16 @@ class Semiring:
     #: True when the carrier is finite (see :meth:`elements`).
     is_finite: bool = False
 
+    #: True when ``+`` is declared commutative and associative, so partial
+    #: aggregates may be folded in *any* order — micro-batch coalescing and
+    #: cross-shard ``⊕``-merge (``repro.cluster``) both reorder additions
+    #: freely.  Every commutative semiring satisfies this by definition;
+    #: the flag exists so experimental carriers that bend the axioms (e.g.
+    #: order-sensitive accumulators built on :class:`TableSemiring`'s
+    #: machinery) can opt out and be *refused* by the serving layers
+    #: instead of silently merged wrong.
+    is_mergeable: bool = True
+
     zero: Any = None
     one: Any = None
 

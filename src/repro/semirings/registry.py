@@ -1,0 +1,131 @@
+"""The semiring registry: named factories plus serving capability flags.
+
+The serving layers dispatch on *capabilities*, not concrete classes:
+micro-batch coalescing (:class:`repro.serve.QueryService`) and
+cross-shard ``⊕``-merge (:class:`repro.cluster.ClusterService`) both
+fold partial aggregates in an order the caller never chose, which is
+only sound when the semiring's addition is commutative and associative.
+Every commutative semiring is, by definition — but the framework admits
+user-built carriers (:class:`~repro.semirings.TableSemiring` takes
+arbitrary operation tables) whose ``+`` may bend the axioms, and those
+must be *refused* at service construction, not merged wrong at runtime.
+
+:func:`ensure_mergeable` is that refusal seam; the registry itself maps
+stable names to factories with their declared flags, so tools (CLI
+benches, config files, the plan-store corpus) can name semirings without
+importing their classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .base import Semiring
+from .boolean import BooleanSemiring, SetAlgebra
+from .finite import saturating_counter_semiring
+from .numeric import (FloatField, IntegerRing, ModularRing, NaturalSemiring,
+                      RationalField)
+from .product import ProductSemiring
+from .tropical import BoundedMinMax, MaxPlus, MinMax, MinPlus
+
+__all__ = ["SemiringSpec", "SEMIRING_REGISTRY", "register_semiring",
+           "resolve_semiring", "ensure_mergeable"]
+
+
+class SemiringSpec:
+    """One registry entry: a factory plus its serving capability flags."""
+
+    __slots__ = ("name", "factory", "is_mergeable")
+
+    def __init__(self, name: str, factory: Callable[[], Semiring],
+                 is_mergeable: bool = True):
+        self.name = name
+        self.factory = factory
+        self.is_mergeable = is_mergeable
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<SemiringSpec {self.name!r} "
+                f"mergeable={self.is_mergeable}>")
+
+
+#: name -> :class:`SemiringSpec` for every shipped semiring family.
+SEMIRING_REGISTRY: Dict[str, SemiringSpec] = {}
+
+
+def register_semiring(name: str, factory: Callable[[], Semiring], *,
+                      is_mergeable: bool = True,
+                      replace: bool = False) -> SemiringSpec:
+    """Register a named semiring factory with its capability flags.
+
+    ``is_mergeable`` declares the addition commutative/associative so
+    shard merges and micro-batch reorderings are sound; registering an
+    existing name without ``replace=True`` fails loudly.
+    """
+    if name in SEMIRING_REGISTRY and not replace:
+        raise ValueError(f"semiring {name!r} is already registered; pass "
+                         f"replace=True to override")
+    spec = SemiringSpec(name, factory, is_mergeable)
+    SEMIRING_REGISTRY[name] = spec
+    return spec
+
+
+def resolve_semiring(name: str) -> Semiring:
+    """Instantiate the registered semiring named ``name``."""
+    try:
+        spec = SEMIRING_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(SEMIRING_REGISTRY))
+        raise KeyError(f"unknown semiring {name!r}; registered: {known}") \
+            from None
+    sr = spec.factory()
+    if getattr(sr, "is_mergeable", True) != spec.is_mergeable:
+        # The instance flag is authoritative for dispatch; keep the
+        # registry honest rather than shipping contradictory metadata.
+        sr.is_mergeable = spec.is_mergeable
+    return sr
+
+
+def ensure_mergeable(sr: Semiring,
+                     context: Optional[str] = None) -> Semiring:
+    """Refuse a semiring whose ``⊕`` is not declared safe to reorder.
+
+    The serving layers fold partial aggregates in arrival order
+    (micro-batches) or shard order (cluster merge); a semiring that has
+    not declared its addition commutative/associative
+    (``is_mergeable``) would be merged in an order the query never
+    specified — refused here, eagerly, at service construction.
+    """
+    if getattr(sr, "is_mergeable", True):
+        return sr
+    where = f" for {context}" if context else ""
+    raise ValueError(
+        f"semiring {getattr(sr, 'name', sr)!r} does not declare its "
+        f"addition commutative/associative (is_mergeable=False); "
+        f"partial-aggregate merge{where} would fold ⊕ in an order the "
+        f"query never specified — use a mergeable semiring or evaluate "
+        f"through PreparedQuery directly")
+
+
+def _register_shipped() -> None:
+    """The shipped semiring families, all honestly commutative."""
+    entries: Dict[str, Callable[[], Semiring]] = {
+        "B": BooleanSemiring,
+        "N": NaturalSemiring,
+        "Z": IntegerRing,
+        "Q": RationalField,
+        "float": FloatField,
+        "min-plus": MinPlus,
+        "max-plus": MaxPlus,
+        "min-max": MinMax,
+        "min-max-3": lambda: BoundedMinMax(3),
+        "Z_7": lambda: ModularRing(7),
+        "sat-4": lambda: saturating_counter_semiring(4),
+        "set-algebra": lambda: SetAlgebra(frozenset("abc")),
+        "N x B": lambda: ProductSemiring(NaturalSemiring(),
+                                         BooleanSemiring()),
+    }
+    for name, factory in entries.items():
+        register_semiring(name, factory)
+
+
+_register_shipped()

@@ -46,7 +46,7 @@ from ..circuits import DEFAULT_MAX_GROUPS, validate_backend, \
     validate_exact_mode
 from ..engine import WeightedQueryEngine
 from ..logic.weighted import WExpr
-from ..semirings import Semiring
+from ..semirings import Semiring, ensure_mergeable
 from ..structures import Structure
 from .plan_cache import PlanCache
 from .result_cache import MISS, ResultCache
@@ -98,6 +98,11 @@ class QueryService:
               verify: Optional[bool] = None):
         validate_backend(backend)
         validate_exact_mode(exact_mode)
+        # The service folds partial aggregates in arrival order (batch
+        # dedup, grouped rollups); a semiring that has not declared its
+        # ⊕ commutative/associative is refused here, eagerly, rather
+        # than merged in an order the query never specified.
+        ensure_mergeable(sr, "QueryService micro-batch merge")
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         if max_batch_size < 1:

@@ -1,0 +1,13 @@
+"""Negative fixture: blocking calls inside cluster `async def` (REP006)."""
+
+import time
+
+
+class Gateway:
+    async def query(self, future):
+        time.sleep(0.1)  # blocks the caller's event loop
+        return future.result()  # bare wait, no deadline
+
+    async def load(self, conn, message):
+        conn.send_bytes(message)  # dispatcher-thread territory
+        return conn.recv_bytes()

@@ -1,0 +1,29 @@
+"""Positive fixture: cluster async paths that only await; sync facades
+and dispatcher threads may block (REP006 scopes to `async def` only)."""
+
+import asyncio
+import time
+
+
+class Gateway:
+    async def query(self, future):
+        return await asyncio.wait_for(asyncio.wrap_future(future), 1.0)
+
+    def query_sync(self, future):
+        # Blocking is the sync facade's contract (and it has a deadline).
+        return future.result(1.0)
+
+    def _dispatch(self, conn, message):
+        # Dispatcher threads own the pipe round trips.
+        conn.send_bytes(message)
+        return conn.recv_bytes()
+
+    def _backoff(self):
+        async def make_plan():
+            return None  # a nested coroutine inherits the async scope
+
+        def blocking_helper(future):
+            time.sleep(0)  # nested *sync* def: blocking is fine again
+            return future.result()
+
+        return make_plan, blocking_helper

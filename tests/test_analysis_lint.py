@@ -29,6 +29,7 @@ FIXTURE_OF = {
     "REP003": ("bad/api/prepared_rep003.py", "good/api/prepared.py"),
     "REP004": ("bad/shim_rep004.py", "good/shim.py"),
     "REP005": ("bad/plan_store.py", "good/serialize.py"),
+    "REP006": ("bad/cluster/gateway_rep006.py", "good/cluster/gateway.py"),
 }
 
 

@@ -409,6 +409,40 @@ class TestServiceLifecycle:
             service.update_weight("w",
                                   sorted(structure.relations["E"])[0], 5)
 
+    def test_close_during_concurrent_group_by_never_hangs(self):
+        # Drain-on-close with *grouped* sweeps in flight: a group_by
+        # fans one submit per group into the micro-batch queue, so
+        # close() must either serve the whole table or fail it with the
+        # closed error — never hang, never return a partial table.
+        structure = weighted_graph_structure(triangulated_grid(3, 3),
+                                             seed=21)
+        service = QueryService(structure, DEGREE, NATURAL,
+                               max_batch_size=4, max_batch_delay=0.001)
+        expected = list(service.group_by())
+        started = threading.Barrier(5, timeout=10)
+        outcomes = []
+
+        def client():
+            started.wait()
+            try:
+                outcomes.append(("table", list(service.group_by())))
+            except RuntimeError:
+                outcomes.append(("closed", None))
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        started.wait()  # all clients are issuing group submits now
+        service.close()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert all(not thread.is_alive() for thread in threads)
+        assert len(outcomes) == 4
+        for kind, table in outcomes:
+            if kind == "table":  # drained before close: the full table
+                assert table == expected
+        assert selector_names(structure) == set()
+
     def test_close_during_concurrent_queries_never_hangs(self):
         structure = weighted_graph_structure(triangulated_grid(3, 3), seed=15)
         service = QueryService(structure, DEGREE, NATURAL,
