@@ -65,8 +65,7 @@ def serving_workload(side: int):
     per-thread probe schedule over the whole domain."""
     structure = triangle_workload(side)
     for edge in list(structure.weights["w"]):
-        structure.weights["w"][edge] = float(structure.weights["w"][edge])
-    structure._touch()  # weights were edited in place
+        structure.set_weight("w", edge, float(structure.weights["w"][edge]))
     schedules = []
     for thread_id in range(THREADS):
         rng = random.Random(1000 + thread_id)

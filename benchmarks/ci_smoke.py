@@ -136,36 +136,31 @@ def run_bench(path: str, env: dict) -> dict:
     # ``KERNEL-REPORT {json}`` line per axis (chosen kernel, fallback
     # count, speedup); lift them into the artifact so the kernel
     # trajectory is comparable across runs without re-running anything.
-    kernels, plan_store, cluster = [], [], []
+    # Benches publish structured rows as ``<KIND>-REPORT {json}`` lines:
+    # exact-kernel choices (KERNEL), plan-store cold/warm timings
+    # (PLAN-STORE), the sharded-gateway axis of bench_serve (CLUSTER),
+    # and the mixed read/write stream of bench_update_stream
+    # (UPDATE-STREAM: per-write cost vs the rehash baseline, warm-hit
+    # rate, sharded-consistency check).  Lift them into the artifact so
+    # each trajectory is comparable across runs without re-running.
+    lifted = {key: [] for key in ("kernels", "plan_store", "cluster",
+                                  "update_stream")}
+    patterns = {"kernels": r"KERNEL-REPORT (\{.*\})\s*$",
+                "plan_store": r"PLAN-STORE-REPORT (\{.*\})\s*$",
+                "cluster": r"CLUSTER-REPORT (\{.*\})\s*$",
+                "update_stream": r"UPDATE-STREAM-REPORT (\{.*\})\s*$"}
     for line in proc.stdout.splitlines():
         # pytest progress dots may prefix the line; search, don't anchor.
-        match = re.search(r"KERNEL-REPORT (\{.*\})\s*$", line)
-        if match:
-            try:
-                kernels.append(json.loads(match.group(1)))
-            except json.JSONDecodeError:
-                pass
-        match = re.search(r"PLAN-STORE-REPORT (\{.*\})\s*$", line)
-        if match:
-            try:
-                plan_store.append(json.loads(match.group(1)))
-            except json.JSONDecodeError:
-                pass
-        # The multi-process leg: bench_serve's sharded-gateway axis
-        # prints one ``CLUSTER-REPORT {json}`` line (shard count,
-        # gateway vs single-process qps, merge/respawn/shed counters).
-        match = re.search(r"CLUSTER-REPORT (\{.*\})\s*$", line)
-        if match:
-            try:
-                cluster.append(json.loads(match.group(1)))
-            except json.JSONDecodeError:
-                pass
-    if kernels:
-        result["kernels"] = kernels
-    if plan_store:
-        result["plan_store"] = plan_store
-    if cluster:
-        result["cluster"] = cluster
+        for key, pattern in patterns.items():
+            match = re.search(pattern, line)
+            if match:
+                try:
+                    lifted[key].append(json.loads(match.group(1)))
+                except json.JSONDecodeError:
+                    pass
+    for key, rows in lifted.items():
+        if rows:
+            result[key] = rows
     return result
 
 

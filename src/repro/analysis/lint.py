@@ -52,6 +52,17 @@ The rules:
     the dispatcher threads and the ``*_sync`` facades — coroutines only
     await loop-agnostic futures.
 
+``REP007`` **no full-content rehash on the update hot path** — inside
+    update-path functions (``_apply_weight``/``_apply_relation``/
+    ``_apply_write``, the structure mutators, ``update``/``__exit__`` of
+    the transaction router, the retag/verify hooks) in the ``api``/
+    ``serve``/``cluster`` layers, no ``full_fingerprint()`` or
+    ``rehash()`` calls.  The structure fingerprint is maintained
+    incrementally precisely so a write costs O(delta); one stray
+    full rehash in the hot path silently reverts the update model to
+    O(structure) per write.  Full rehashes belong to tests and the
+    ``REPRO_VERIFY_FINGERPRINT`` debug mode.
+
 Each rule has positive and negative fixtures under
 ``tests/lint_fixtures/``; ``tests/test_analysis_lint.py`` asserts the
 shipped source tree is clean and that every rule fires on its negative
@@ -82,6 +93,10 @@ RULES = {
               "nondeterminism (hash()/time/random/uuid/urandom)",
     "REP006": "cluster async paths: no time.sleep, bare .result(), or "
               "blocking pipe/socket ops inside `async def`",
+    "REP007": "update hot paths in repro.api/serve/cluster: no "
+              "full-content rehash (full_fingerprint()/rehash()) — the "
+              "fingerprint is maintained incrementally, O(delta) per "
+              "write",
 }
 
 #: pickle-family modules whose import REP005 bans outright.
@@ -105,6 +120,17 @@ _SERIALIZE_MODULES = frozenset({"serialize", "plan_store", "plan_cache",
 _BLOCKING_IO_ATTRS = frozenset({"recv", "recv_bytes", "recv_into",
                                 "send_bytes", "sendall", "accept",
                                 "connect"})
+
+#: function names REP007 treats as the update hot path.
+_HOT_UPDATE_FUNCS = frozenset({
+    "_apply_weight", "_apply_relation", "_apply_write",
+    "set_weight", "set_relation", "add_tuple", "remove_tuple",
+    "remove_weight", "update_weight", "update", "__exit__",
+    "_verify_fresh", "_retag_points", "_retag_unaffected",
+})
+
+#: call tails REP007 bans inside the update hot path.
+_FULL_REHASH_CALLS = frozenset({"full_fingerprint", "rehash"})
 
 
 @dataclass(frozen=True)
@@ -164,11 +190,16 @@ class _Linter(ast.NodeVisitor):
         self.in_serialize_module = basename in _SERIALIZE_MODULES
         #: REP006 applies to the multi-process serving layer.
         self.in_cluster_module = "cluster" in parts[:-1]
+        #: REP007 applies to the layers that route updates.
+        self.in_update_layer = bool(
+            {"api", "serve", "cluster"} & set(parts[:-1]))
         #: lexical stack of `with`-held lock names (dotted).
         self.lock_stack: List[str] = []
         #: lexical function-kind stack: True inside `async def` bodies
         #: (a nested sync `def` pushes False and shadows it).
         self.async_stack: List[bool] = []
+        #: lexical stack of enclosing function names (for REP007).
+        self.func_stack: List[str] = []
         self.violations: List[LintViolation] = []
 
     def _flag(self, rule: str, node: ast.AST, message: str) -> None:
@@ -216,6 +247,9 @@ class _Linter(ast.NodeVisitor):
         if self.in_cluster_module and self.async_stack \
                 and self.async_stack[-1]:
             self._check_blocking_call(node)
+        if self.in_update_layer and any(
+                name in _HOT_UPDATE_FUNCS for name in self.func_stack):
+            self._check_full_rehash_call(node)
         self.generic_visit(node)
 
     # -- REP003: epoch bump on invalidation ----------------------------------------
@@ -229,7 +263,9 @@ class _Linter(ast.NodeVisitor):
                 f"the database epoch (`_epoch += 1`) — epoch-keyed "
                 f"result caches would serve stale answers")
         self.async_stack.append(isinstance(node, ast.AsyncFunctionDef))
+        self.func_stack.append(node.name)
         self.generic_visit(node)
+        self.func_stack.pop()
         self.async_stack.pop()
 
     visit_FunctionDef = _visit_function
@@ -326,6 +362,22 @@ class _Linter(ast.NodeVisitor):
                 f".{attr}() inside a cluster `async def` is a blocking "
                 f"pipe/socket operation — only dispatcher threads may "
                 f"touch worker connections")
+
+    # -- REP007: no full rehash on the update hot path -------------------------------
+
+    def _check_full_rehash_call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        tail = dotted.split(".")[-1]
+        if tail in _FULL_REHASH_CALLS:
+            self._flag(
+                "REP007", node,
+                f"{dotted}() inside an update hot-path function — a "
+                f"full content rehash is O(structure) per write; the "
+                f"fingerprint digest is maintained incrementally "
+                f"(verification belongs in tests / "
+                f"REPRO_VERIFY_FINGERPRINT)")
 
 
 def lint_source(source: str, path: str = "<string>"

@@ -111,6 +111,10 @@ class Database:
         self._in_update = 0
         self._closed = False
         self._expected_fp = structure.fingerprint()
+        # Mutation counter snapshot at the last reconcile: a transaction
+        # whose writes were all no-ops leaves it unchanged, and exit can
+        # skip reconciliation entirely (not even the O(1) digest read).
+        self._reconciled_mutations = structure._mutations
 
     # -- handles -----------------------------------------------------------------
 
@@ -339,16 +343,18 @@ class Database:
         live services are closed (their engine pools cannot be rebuilt
         in place, and serving the pre-mutation snapshot would be the
         stale-answer bug this check exists to kill), and the epoch
-        advances so no cached result survives.  The check is O(1) while
-        the structure is untouched (the fingerprint is content-cached).
+        advances so no cached result survives.  The check is O(1): the
+        fingerprint is an incrementally-maintained digest, never a
+        content rehash.  (Raw dict writes that bypass the Structure
+        mutators also bypass the digest and are invisible here — run
+        with ``REPRO_VERIFY_FINGERPRINT=1`` to surface those.)
         """
         with self._lock:
             if self._in_update:
                 # A transaction is applying sanctioned writes; reads in
                 # its window see mid-transaction state (documented) and
                 # must not mistake those writes for a bypass.  The
-                # fingerprint is reconciled once at transaction exit —
-                # not per write, which would rehash O(size) every time.
+                # fingerprint is reconciled once at transaction exit.
                 return
             fingerprint = self.structure.fingerprint()
             if fingerprint != self._expected_fp:
@@ -360,6 +366,7 @@ class Database:
                 self._prune()
                 self._epoch += 1
                 self._expected_fp = fingerprint
+                self._reconciled_mutations = self.structure._mutations
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -438,12 +445,15 @@ class UpdateContext:
         with db._lock:
             # Sanctioned writes move the fingerprint; reconcile once at
             # exit (even on error — partially-applied writes must not
-            # masquerade as out-of-band mutations).  While _in_update
-            # is up, _verify_fresh holds its fire, so a transaction of
-            # K writes costs one O(size) rehash, not K.
+            # masquerade as out-of-band mutations).  The digest is
+            # maintained incrementally, so reconciliation is an O(1)
+            # read — and a transaction whose writes were all no-ops
+            # (mutation counter unmoved) skips it outright.
             db._in_update -= 1
             if not db._in_update:
-                db._expected_fp = db.structure.fingerprint()
+                if db.structure._mutations != db._reconciled_mutations:
+                    db._expected_fp = db.structure.fingerprint()
+                    db._reconciled_mutations = db.structure._mutations
 
     # -- writes ------------------------------------------------------------------
 

@@ -334,8 +334,7 @@ class PreparedQuery:
             if not cached:
                 continue
             if not relevant:
-                for args in cached:
-                    scope.retag(args, from_epoch, to_epoch)
+                scope.retag_many(cached, from_epoch, to_epoch)
                 continue
             with self._engine_lock:
                 engine = self._engines.get(sr_name)
@@ -344,11 +343,11 @@ class PreparedQuery:
                 affected = engine.affected_arguments(update_keys)
             if affected is None:
                 continue
-            for args in cached:
-                if len(args) != len(affected) or not all(
-                        args[i] in affected[i]
-                        for i in range(len(args))):
-                    scope.retag(args, from_epoch, to_epoch)
+            scope.retag_many(
+                [args for args in cached
+                 if len(args) != len(affected) or not all(
+                     args[i] in affected[i] for i in range(len(args)))],
+                from_epoch, to_epoch)
 
     # -- execution modes ---------------------------------------------------------
 

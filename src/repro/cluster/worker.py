@@ -104,8 +104,16 @@ class _WorkerState:
         return {"keys": keys, "values": values}
 
     def update(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Apply routed writes through the worker's own update router."""
+        """Apply routed writes through the worker's own update router.
+
+        The whole batch is one ``db.update()`` transaction, so it costs
+        one O(1) fingerprint reconcile at exit (none at all when every
+        write was a no-op — the structure's mutation counter did not
+        move).  ``effective`` reports how many writes actually changed
+        shard content; the gateway and benches use it to distinguish
+        no-op traffic from real deltas."""
         touched = 0
+        before = self.db.structure._mutations
         with self.db.update() as tx:
             for write in message["writes"]:
                 kind, name, tup = write[0], write[1], tuple(write[2])
@@ -117,7 +125,8 @@ class _WorkerState:
                                   tx.set_relation(name, tup, write[3]))
                 else:
                     raise ValueError(f"unknown write kind {kind!r}")
-        return {"touched": touched}
+        return {"touched": touched,
+                "effective": self.db.structure._mutations - before}
 
     def stats(self, message: Dict[str, Any]) -> Dict[str, Any]:
         return {"stats": self._safe_stats(), "loads": self.loads}

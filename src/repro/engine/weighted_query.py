@@ -98,6 +98,7 @@ class WeightedQueryEngine:
                              f"expression's free variables")
         self.structure = structure
         self._closed = False
+        self._affected_memo: Dict[Tuple, Optional[Tuple]] = {}
         if plan_cache is not None or plan_store is not None:
             # Cacheable construction needs *deterministic* selector names:
             # both plan tiers key on the structure's content fingerprint
@@ -329,9 +330,19 @@ class WeightedQueryEngine:
         granularity exists).  This is the seam behind touched-group-only
         cache invalidation: after a routed update, cached results whose
         arguments fail the test are provably still correct.
+
+        The analysis reads only static circuit topology (the schedule's
+        per-gate input cones), never gate values, so it is memoized per
+        ``update_keys`` — a write stream that revisits tuples (live edge
+        weights) pays the cone walk once per distinct write target.
         """
         if not self.free:
             return None
+        memo_key = tuple(update_keys)
+        try:
+            return self._affected_memo[memo_key]
+        except KeyError:
+            pass
         schedule = self.compiled.schedule()
         met = set()
         for key in update_keys:
@@ -342,7 +353,10 @@ class WeightedQueryEngine:
                 key[2][0] for key in met
                 if isinstance(key, tuple) and len(key) == 3
                 and key[0] == "w" and key[1] == name))
-        return tuple(affected)
+        if len(self._affected_memo) >= 8192:  # bound a long write stream
+            self._affected_memo.clear()
+        self._affected_memo[memo_key] = tuple(affected)
+        return self._affected_memo[memo_key]
 
     # -- updates ----------------------------------------------------------------
 

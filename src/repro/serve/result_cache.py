@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Tuple
+from typing import Any, Dict, Hashable, Iterable, Tuple
 
 #: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
 #: legitimate carrier value in user semirings).
@@ -90,6 +90,22 @@ class ResultCache:
                 return False
             self._entries[key] = (to_epoch, entry[1])
             return True
+
+    def retag_many(self, keys: Iterable[Hashable],
+                   from_epoch: int, to_epoch: int) -> int:
+        """Bulk :meth:`retag` under one lock round; returns how many
+        entries were carried over.  A write stream retags every
+        provably-unaffected entry after each effective update, so the
+        per-entry lock/unlock of N ``retag`` calls is hot-path overhead
+        worth batching away."""
+        carried = 0
+        with self._lock:
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is not None and entry[0] == from_epoch:
+                    self._entries[key] = (to_epoch, entry[1])
+                    carried += 1
+        return carried
 
     def __len__(self) -> int:
         with self._lock:
@@ -174,6 +190,12 @@ class ScopedResultCache:
     def retag(self, key: Hashable, from_epoch: int, to_epoch: int) -> bool:
         """Conditional epoch carry-over (see :meth:`ResultCache.retag`)."""
         return self.parent.retag((self.namespace, key), from_epoch, to_epoch)
+
+    def retag_many(self, keys: Iterable[Hashable],
+                   from_epoch: int, to_epoch: int) -> int:
+        """Bulk carry-over (see :meth:`ResultCache.retag_many`)."""
+        return self.parent.retag_many(
+            [(self.namespace, key) for key in keys], from_epoch, to_epoch)
 
     def stats(self) -> Dict[str, int]:
         parent = self.parent.stats()

@@ -411,14 +411,13 @@ class QueryService:
             if affected is None:
                 return
             to_epoch = self._epoch
-            carried = 0
-            for args in self.result_cache.keys():
-                if not isinstance(args, tuple) or len(args) != len(affected):
-                    continue
-                if not all(args[i] in affected[i]
-                           for i in range(len(args))):
-                    if self.result_cache.retag(args, from_epoch, to_epoch):
-                        carried += 1
+            survivors = [
+                args for args in self.result_cache.keys()
+                if isinstance(args, tuple) and len(args) == len(affected)
+                and not all(args[i] in affected[i]
+                            for i in range(len(args)))]
+            carried = self.result_cache.retag_many(
+                survivors, from_epoch, to_epoch)
             with self._stats_lock:
                 self._retagged += carried
         except Exception:  # noqa: BLE001 - stale-but-correct beats wrong

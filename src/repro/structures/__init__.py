@@ -2,9 +2,10 @@
 
 from .forest import LabeledForest
 from .signature import RelationSymbol, Signature, WeightSymbol
-from .structure import Structure, graph_structure
+from .structure import FingerprintMismatch, Structure, graph_structure
 
 __all__ = [
     "Signature", "RelationSymbol", "WeightSymbol",
     "Structure", "graph_structure", "LabeledForest",
+    "FingerprintMismatch",
 ]

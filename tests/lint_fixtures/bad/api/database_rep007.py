@@ -1,0 +1,28 @@
+"""REP007 negative fixture: full-content rehash on the update hot path.
+
+The path places this under an ``api`` layer, where REP007 applies;
+``_apply_write`` and the transaction ``__exit__`` are hot-path function
+names, so both rehash calls below must fire — and nothing else.
+"""
+
+
+class Router:
+    def __init__(self, db):
+        self.db = db
+
+    def _apply_write(self, name, tup, value):
+        self.db.structure.set_weight(name, tup, value)
+        # BAD: O(structure) rehash for one O(delta) write.
+        return self.db.structure.full_fingerprint()
+
+
+class Transaction:
+    def __init__(self, db):
+        self.db = db
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        # BAD: resynchronising from content on every transaction exit.
+        self.db._expected_fp = self.db.structure.rehash()

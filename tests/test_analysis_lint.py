@@ -30,6 +30,7 @@ FIXTURE_OF = {
     "REP004": ("bad/shim_rep004.py", "good/shim.py"),
     "REP005": ("bad/plan_store.py", "good/serialize.py"),
     "REP006": ("bad/cluster/gateway_rep006.py", "good/cluster/gateway.py"),
+    "REP007": ("bad/api/database_rep007.py", "good/api/database.py"),
 }
 
 
@@ -101,6 +102,13 @@ def test_lint_source_path_scoping():
     with open(os.path.join(FIXTURES, "bad", "shim_rep004.py")) as handle:
         source = handle.read()
     assert lint_source(source, "src/repro/_compat.py") == []
+    # REP007 applies only in the update-routing layers: the structures
+    # package itself (where full_fingerprint/rehash live) is exempt.
+    with open(os.path.join(FIXTURES, "bad", "api",
+                           "database_rep007.py")) as handle:
+        source = handle.read()
+    assert lint_source(source, "src/repro/cluster/worker.py")
+    assert lint_source(source, "src/repro/structures/structure.py") == []
 
 
 def test_cli_lint_exit_codes(capsys):
